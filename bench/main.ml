@@ -1,0 +1,826 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 7 and Appendix C). Results are printed in the
+   paper's layout; EXPERIMENTS.md records paper-vs-measured values.
+
+   Usage:
+     dune exec bench/main.exe                 -- all sections, default scale
+     dune exec bench/main.exe -- --scale smoke
+     dune exec bench/main.exe -- --only table1,fig5
+     dune exec bench/main.exe -- --timing     -- Bechamel stage timings
+     dune exec bench/main.exe -- --list       -- list section ids
+
+   Sweeps are shared between sections (Table 1, Table 6, Table 7 and
+   Figure 5 all read the no-NUMA sweep, etc.) and cached, so the whole
+   harness performs each scheduling run exactly once. *)
+
+let scale = ref Datasets.Default
+let seed = ref 1
+let only : string list ref = ref []
+let timing = ref false
+let list_sections = ref false
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--scale smoke|default|full] [--seed N] [--only id,id,...] \
+     [--timing] [--list]";
+  exit 2
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: s :: rest ->
+      (match Datasets.scale_of_string s with
+       | Some sc -> scale := sc
+       | None -> usage ());
+      go rest
+    | "--seed" :: s :: rest ->
+      (match int_of_string_opt s with Some n -> seed := n | None -> usage ());
+      go rest
+    | "--only" :: s :: rest ->
+      only := String.split_on_char ',' s;
+      go rest
+    | "--timing" :: rest ->
+      timing := true;
+      go rest
+    | "--list" :: rest ->
+      list_sections := true;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Budgets per scale.                                                  *)
+
+let bench_limits () =
+  match !scale with
+  | Datasets.Smoke ->
+    {
+      Pipeline.default_limits with
+      Pipeline.hc_evals = 60_000;
+      hccs_evals = 20_000;
+      ilp_full_nodes = 300;
+      ilp_part_nodes = 60;
+      ilp_cs_nodes = 80;
+      stage_seconds = Some 0.25;
+    }
+  | Datasets.Default ->
+    {
+      Pipeline.default_limits with
+      Pipeline.hc_evals = 250_000;
+      hccs_evals = 80_000;
+      stage_seconds = Some 0.75;
+    }
+  | Datasets.Full ->
+    { Pipeline.thorough_limits with Pipeline.stage_seconds = Some 120.0 }
+
+(* Above this node count the ILP stages are disabled in the sweeps: they
+   contribute little on larger DAGs (Section 7.1, "the ILP-based methods
+   ... only a minor improvement for larger DAGs") and dominate the
+   harness runtime otherwise. *)
+let ilp_node_cap () =
+  match !scale with
+  | Datasets.Smoke -> 500
+  | Datasets.Default -> 1_200
+  | Datasets.Full -> max_int
+
+let huge_limits () =
+  match !scale with
+  | Datasets.Smoke -> { Pipeline.fast_limits with Pipeline.hc_evals = 60_000 }
+  | Datasets.Default -> { Pipeline.fast_limits with Pipeline.hc_evals = 300_000 }
+  | Datasets.Full ->
+    { Pipeline.fast_limits with Pipeline.hc_evals = 5_000_000; stage_seconds = Some 1800.0 }
+
+(* ILPinit is only competitive for P = 4 (Appendix C.1) and our batched
+   substrate only pays off on smaller instances. HC budgets scale with
+   the instance so that large DAGs still get several complete
+   neighbourhood passes. *)
+let limits_for ~p ~n base =
+  let use_ilp = base.Pipeline.use_ilp && n <= ilp_node_cap () in
+  let passes = match !scale with Datasets.Smoke -> 4 | Datasets.Default -> 6 | Datasets.Full -> 25 in
+  {
+    base with
+    Pipeline.use_ilp;
+    use_ilp_init = (p = 4 && n <= 600 && use_ilp);
+    hc_evals = max base.Pipeline.hc_evals (passes * n * 3 * p);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cached datasets and sweeps.                                         *)
+
+let dataset_cache : (string, Datasets.t) Hashtbl.t = Hashtbl.create 8
+
+let dataset label =
+  match Hashtbl.find_opt dataset_cache label with
+  | Some d -> d
+  | None ->
+    let d =
+      match label with
+      | "training" -> Datasets.training ~scale:!scale ~seed:!seed
+      | "tiny" -> Datasets.tiny ~scale:!scale ~seed:!seed
+      | "small" -> Datasets.small ~scale:!scale ~seed:!seed
+      | "medium" -> Datasets.medium ~scale:!scale ~seed:!seed
+      | "large" -> Datasets.large ~scale:!scale ~seed:!seed
+      | "huge" -> Datasets.huge ~scale:!scale ~seed:!seed
+      | _ -> invalid_arg ("unknown dataset " ^ label)
+    in
+    Hashtbl.add dataset_cache label d;
+    d
+
+type sweep_key = {
+  ds : string;
+  p : int;
+  g : int;
+  l : int;
+  delta : int;  (* 0 = uniform machine *)
+  huge : bool;  (* use the fast (non-ILP) limits *)
+}
+
+let run_cache : (sweep_key, Experiment.run list) Hashtbl.t = Hashtbl.create 64
+
+let machine_of key =
+  if key.delta = 0 then Machine.uniform ~p:key.p ~g:key.g ~l:key.l
+  else Machine.numa_tree ~p:key.p ~g:key.g ~l:key.l ~delta:key.delta
+
+let want_list_baselines key =
+  (not key.huge) && (key.g = 5 || key.ds = "tiny") && key.delta = 0
+
+let want_multilevel key = key.delta > 0 && key.ds <> "tiny" && not key.huge
+
+let runs key =
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+    let d = dataset key.ds in
+    let machine = machine_of key in
+    let base = if key.huge then huge_limits () else bench_limits () in
+    let t0 = Unix.gettimeofday () in
+    Printf.eprintf "[sweep] %-7s P=%-2d g=%d l=%-2d delta=%d (%d instances)...%!" key.ds
+      key.p key.g key.l key.delta
+      (List.length d.Datasets.instances);
+    let result =
+      List.map
+        (fun inst ->
+          let limits = limits_for ~p:key.p ~n:(Dag.n inst.Datasets.dag) base in
+          let options =
+            {
+              Experiment.default_options with
+              Experiment.limits = limits;
+              (* The multilevel solving phase runs on the coarse DAG with
+                 local search only; the communication-schedule ILP still
+                 polishes the final uncoarsened result. *)
+              ml_solver_limits =
+                (if !scale = Datasets.Full then None
+                 else Some { limits with Pipeline.use_ilp = false });
+              with_list_baselines = want_list_baselines key;
+              with_multilevel = want_multilevel key;
+              seed = !seed;
+            }
+          in
+          Experiment.evaluate options machine inst.Datasets.dag)
+        d.Datasets.instances
+    in
+    Printf.eprintf " %.1fs\n%!" (Unix.gettimeofday () -. t0);
+    Hashtbl.add run_cache key result;
+    result
+
+let main_key ds p g = { ds; p; g; l = 5; delta = 0; huge = false }
+let numa_key ds p delta = { ds; p; g = 1; l = 5; delta; huge = false }
+
+let main_datasets = [ "tiny"; "small"; "medium"; "large" ]
+let no_tiny_datasets = [ "small"; "medium"; "large" ]
+let ps = [ 4; 8; 16 ]
+let gs = [ 1; 3; 5 ]
+let numa_ps = [ 8; 16 ]
+let deltas = [ 2; 3; 4 ]
+
+let concat_runs keys = List.concat_map runs keys
+
+(* ------------------------------------------------------------------ *)
+(* Formatting helpers.                                                 *)
+
+let red ratio = Experiment.reduction_percent ratio
+
+let cell2 vs_cilk vs_hdagg = Printf.sprintf "%3.0f%% / %3.0f%%" (red vs_cilk) (red vs_hdagg)
+
+let ours r = r.Experiment.ours
+let cilk r = r.Experiment.cilk
+let hdagg r = r.Experiment.hdagg
+let init_cost r = r.Experiment.stage.Pipeline.init_cost
+let after_ls r = r.Experiment.stage.Pipeline.after_local_search
+let after_part r = r.Experiment.stage.Pipeline.after_ilp_part
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let row label cells = Printf.printf "%-10s %s\n" label (String.concat "  " cells)
+
+(* ------------------------------------------------------------------ *)
+(* Sections.                                                           *)
+
+let table1 () =
+  header "Table 1: cost reduction vs Cilk / HDagg, no NUMA (l=5)";
+  Printf.printf "By g and P (aggregated over tiny..large):\n";
+  row "" (List.map (fun g -> Printf.sprintf "g=%-10d" g) gs);
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun g ->
+            let rs = concat_runs (List.map (fun ds -> main_key ds p g) main_datasets) in
+            cell2 (Experiment.geo_ratio ours cilk rs) (Experiment.geo_ratio ours hdagg rs))
+          gs
+      in
+      row (Printf.sprintf "P=%d" p) cells)
+    ps;
+  Printf.printf "\nBy g and dataset (aggregated over P):\n";
+  row "" (List.map (fun g -> Printf.sprintf "g=%-10d" g) gs);
+  List.iter
+    (fun ds ->
+      let cells =
+        List.map
+          (fun g ->
+            let rs = concat_runs (List.map (fun p -> main_key ds p g) ps) in
+            cell2 (Experiment.geo_ratio ours cilk rs) (Experiment.geo_ratio ours hdagg rs))
+          gs
+      in
+      row ds cells)
+    main_datasets
+
+let fig5 () =
+  header "Figure 5: cost ratios normalised to Cilk, no NUMA, per g";
+  Printf.printf "%-6s %8s %8s %8s %8s %8s\n" "g" "Cilk" "HDagg" "Init" "HCcs" "ILP";
+  List.iter
+    (fun g ->
+      let rs =
+        concat_runs
+          (List.concat_map (fun ds -> List.map (fun p -> main_key ds p g) ps) main_datasets)
+      in
+      Printf.printf "%-6d %8.3f %8.3f %8.3f %8.3f %8.3f\n" g 1.0
+        (Experiment.geo_ratio hdagg cilk rs)
+        (Experiment.geo_ratio init_cost cilk rs)
+        (Experiment.geo_ratio after_ls cilk rs)
+        (Experiment.geo_ratio ours cilk rs))
+    gs
+
+let table2 () =
+  header "Table 2: cost reduction with NUMA vs Cilk / HDagg (g=1, l=5)";
+  row "" (List.map (fun d -> Printf.sprintf "delta=%-6d" d) deltas);
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun d ->
+            let rs = concat_runs (List.map (fun ds -> numa_key ds p d) main_datasets) in
+            cell2 (Experiment.geo_ratio ours cilk rs) (Experiment.geo_ratio ours hdagg rs))
+          deltas
+      in
+      row (Printf.sprintf "P=%d" p) cells)
+    numa_ps
+
+let fig6 () =
+  header "Figure 6: NUMA cost ratios normalised to Cilk (small/medium/large)";
+  Printf.printf "%-12s %8s %8s %8s %8s %8s %8s\n" "(P,delta)" "Cilk" "HDagg" "Init" "HCcs"
+    "ILP" "ML";
+  List.iter
+    (fun p ->
+      List.iter
+        (fun d ->
+          let rs = concat_runs (List.map (fun ds -> numa_key ds p d) no_tiny_datasets) in
+          let ml r =
+            match Experiment.ml_best r with Some c -> c | None -> r.Experiment.ours
+          in
+          Printf.printf "%-12s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n"
+            (Printf.sprintf "(%d,%d)" p d)
+            1.0
+            (Experiment.geo_ratio hdagg cilk rs)
+            (Experiment.geo_ratio init_cost cilk rs)
+            (Experiment.geo_ratio after_ls cilk rs)
+            (Experiment.geo_ratio ours cilk rs)
+            (Experiment.geo_ratio ml cilk rs))
+        deltas)
+    numa_ps
+
+let table3 () =
+  header "Table 3: multilevel (C_opt) reduction vs Cilk / HDagg with NUMA";
+  row "" (List.map (fun d -> Printf.sprintf "delta=%-6d" d) deltas);
+  let ml r = match Experiment.ml_best r with Some c -> c | None -> r.Experiment.ours in
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun d ->
+            let rs = concat_runs (List.map (fun ds -> numa_key ds p d) no_tiny_datasets) in
+            cell2 (Experiment.geo_ratio ml cilk rs) (Experiment.geo_ratio ml hdagg rs))
+          deltas
+      in
+      row (Printf.sprintf "P=%d" p) cells)
+    numa_ps
+
+(* Tables 4 and 5: which initialiser wins on the training set. *)
+let init_wins () =
+  let d = dataset "training" in
+  let base = bench_limits () in
+  List.concat_map
+    (fun inst ->
+      let dag = inst.Datasets.dag in
+      List.concat_map
+        (fun p ->
+          List.map
+            (fun g ->
+              let m = Machine.uniform ~p ~g ~l:5 in
+              let candidates =
+                [
+                  ("bspg", Bsp_cost.total m (Bspg.schedule m dag));
+                  ("source", Bsp_cost.total m (Source_heuristic.schedule m dag));
+                ]
+                @
+                if p = 4 && Dag.n dag <= 600 then
+                  [
+                    ( "ilp-init",
+                      Bsp_cost.total m
+                        (Ilp_schedulers.init
+                           ~budget:
+                             (Budget.combine
+                                (Budget.steps (base.Pipeline.ilp_init_nodes * 32))
+                                (Budget.seconds 5.0))
+                           ~max_vars:base.Pipeline.ilp_init_max_vars
+                           ~max_nodes:base.Pipeline.ilp_init_nodes m dag) );
+                  ]
+                else []
+              in
+              let winner, _ =
+                List.fold_left
+                  (fun (bn, bc) (n, c) -> if c < bc then (n, c) else (bn, bc))
+                  (List.hd candidates) (List.tl candidates)
+              in
+              (inst.Datasets.name, Dag.n dag, p, winner))
+            gs)
+        ps)
+    d.Datasets.instances
+
+let wins_cache = ref None
+
+let get_wins () =
+  match !wins_cache with
+  | Some w -> w
+  | None ->
+    Printf.eprintf "[sweep] training-set initialiser comparison...\n%!";
+    let w = init_wins () in
+    wins_cache := Some w;
+    w
+
+let count_wins wins name = List.length (List.filter (fun (_, _, _, w) -> w = name) wins)
+
+let is_spmv name = String.length name >= 4 && String.sub name 0 4 = "spmv"
+
+let table4 () =
+  header "Table 4: best initialiser counts on training spmv instances, per P";
+  let wins = get_wins () in
+  List.iter
+    (fun p ->
+      let subset = List.filter (fun (n, _, p', _) -> p' = p && is_spmv n) wins in
+      Printf.printf "P=%-3d  bspg: %d  source: %d  ilp-init: %d\n" p
+        (count_wins subset "bspg") (count_wins subset "source")
+        (count_wins subset "ilp-init"))
+    ps
+
+let table5 () =
+  header "Table 5: best initialiser counts on exp/cg/knn training instances, per P and n";
+  let wins = get_wins () in
+  let shrink =
+    match !scale with Datasets.Full -> 1.0 | Datasets.Default -> 0.5 | Datasets.Smoke -> 0.15
+  in
+  let bucket n =
+    if float_of_int n <= 150.0 *. shrink then "small"
+    else if float_of_int n <= 500.0 *. shrink then "mid"
+    else "large"
+  in
+  List.iter
+    (fun b ->
+      Printf.printf "n-bucket %s:\n" b;
+      List.iter
+        (fun p ->
+          let subset =
+            List.filter
+              (fun (name, n, p', _) -> p' = p && bucket n = b && not (is_spmv name))
+              wins
+          in
+          Printf.printf "  P=%-3d  bspg: %d  source: %d  ilp-init: %d\n" p
+            (count_wins subset "bspg") (count_wins subset "source")
+            (count_wins subset "ilp-init"))
+        ps)
+    [ "small"; "mid"; "large" ]
+
+let table6 () =
+  header "Table 6: reduction vs Cilk / HDagg per (g, P, dataset), no NUMA";
+  Printf.printf "%-8s" "";
+  List.iter (fun g -> List.iter (fun p -> Printf.printf " g=%d,P=%-8d" g p) ps) gs;
+  print_newline ();
+  List.iter
+    (fun ds ->
+      Printf.printf "%-8s" ds;
+      List.iter
+        (fun g ->
+          List.iter
+            (fun p ->
+              let rs = runs (main_key ds p g) in
+              Printf.printf " %s"
+                (cell2 (Experiment.geo_ratio ours cilk rs)
+                   (Experiment.geo_ratio ours hdagg rs)))
+            ps)
+        gs;
+      print_newline ())
+    main_datasets
+
+let table7 () =
+  header "Table 7: per-algorithm cost ratios (normalised to Cilk), g=5";
+  Printf.printf "%-8s %8s %8s %8s %8s %8s %8s %8s %8s\n" "" "BL-EST" "ETF" "Cilk" "HDagg"
+    "Init" "HCcs" "ILPpart" "ILPcs";
+  List.iter
+    (fun ds ->
+      let rs = concat_runs (List.map (fun p -> main_key ds p 5) ps) in
+      let opt f r = match f r with Some v -> v | None -> r.Experiment.cilk in
+      Printf.printf "%-8s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n" ds
+        (Experiment.geo_ratio (opt (fun r -> r.Experiment.bl_est)) cilk rs)
+        (Experiment.geo_ratio (opt (fun r -> r.Experiment.etf)) cilk rs)
+        1.0
+        (Experiment.geo_ratio hdagg cilk rs)
+        (Experiment.geo_ratio init_cost cilk rs)
+        (Experiment.geo_ratio after_ls cilk rs)
+        (Experiment.geo_ratio after_part cilk rs)
+        (Experiment.geo_ratio ours cilk rs))
+    main_datasets
+
+let table8 () =
+  header "Table 8: reduction vs ETF on the tiny dataset";
+  row "" (List.map (fun g -> Printf.sprintf "g=%-4d" g) gs);
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun g ->
+            let rs = runs (main_key "tiny" p g) in
+            let etf r =
+              match r.Experiment.etf with Some v -> v | None -> r.Experiment.cilk
+            in
+            Printf.sprintf "%3.0f%%" (red (Experiment.geo_ratio ours etf rs)))
+          gs
+      in
+      row (Printf.sprintf "P=%d" p) cells)
+    ps
+
+let table9 () =
+  header "Table 9: effect of the latency l (medium dataset, g=1, P=8)";
+  List.iter
+    (fun l ->
+      let rs = runs { ds = "medium"; p = 8; g = 1; l; delta = 0; huge = false } in
+      Printf.printf "l=%-4d %s\n" l
+        (cell2 (Experiment.geo_ratio ours cilk rs) (Experiment.geo_ratio ours hdagg rs)))
+    [ 2; 5; 10; 20 ]
+
+let table10 () =
+  header "Table 10: NUMA reduction per (P, delta, dataset), g=1, l=5";
+  Printf.printf "%-8s" "";
+  List.iter (fun p -> List.iter (fun d -> Printf.printf " P=%d,d=%-8d" p d) deltas) numa_ps;
+  print_newline ();
+  List.iter
+    (fun ds ->
+      Printf.printf "%-8s" ds;
+      List.iter
+        (fun p ->
+          List.iter
+            (fun d ->
+              let rs = runs (numa_key ds p d) in
+              Printf.printf " %s"
+                (cell2 (Experiment.geo_ratio ours cilk rs)
+                   (Experiment.geo_ratio ours hdagg rs)))
+            deltas)
+        numa_ps;
+      print_newline ())
+    main_datasets
+
+let huge_key ~p ~g ~delta = { ds = "huge"; p; g; l = 5; delta; huge = true }
+
+let table11 () =
+  header "Table 11: huge dataset, Init+HC+HCcs vs Cilk / HDagg (no NUMA)";
+  row "" (List.map (fun g -> Printf.sprintf "g=%-10d" g) gs);
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun g ->
+            let rs = runs (huge_key ~p ~g ~delta:0) in
+            cell2 (Experiment.geo_ratio ours cilk rs) (Experiment.geo_ratio ours hdagg rs))
+          gs
+      in
+      row (Printf.sprintf "P=%d" p) cells)
+    ps
+
+let table12 () =
+  header "Table 12: huge dataset with NUMA (g=1, l=5)";
+  row "" (List.map (fun d -> Printf.sprintf "delta=%-6d" d) deltas);
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun d ->
+            let rs = runs (huge_key ~p ~g:1 ~delta:d) in
+            cell2 (Experiment.geo_ratio ours cilk rs) (Experiment.geo_ratio ours hdagg rs))
+          deltas
+      in
+      row (Printf.sprintf "P=%d" p) cells)
+    numa_ps
+
+let fig7 () =
+  header "Figure 7: huge dataset ratios normalised to Cilk, per P (no NUMA)";
+  Printf.printf "%-6s %8s %8s %8s %8s\n" "P" "Cilk" "HDagg" "Init" "HCcs";
+  List.iter
+    (fun p ->
+      let rs = concat_runs (List.map (fun g -> huge_key ~p ~g ~delta:0) gs) in
+      Printf.printf "%-6d %8.3f %8.3f %8.3f %8.3f\n" p 1.0
+        (Experiment.geo_ratio hdagg cilk rs)
+        (Experiment.geo_ratio init_cost cilk rs)
+        (Experiment.geo_ratio ours cilk rs))
+    ps
+
+let ml_ratio_getter ratio r =
+  match Experiment.ml_at_ratio r ratio with Some c -> c | None -> r.Experiment.ours
+
+let ml_opt_getter r =
+  match Experiment.ml_best r with Some c -> c | None -> r.Experiment.ours
+
+let table13 () =
+  header "Table 13: multilevel per coarsening ratio vs Cilk / HDagg (NUMA, no tiny)";
+  List.iter
+    (fun (label, getter) ->
+      Printf.printf "%s:\n" label;
+      row "" (List.map (fun d -> Printf.sprintf "delta=%-6d" d) deltas);
+      List.iter
+        (fun p ->
+          let cells =
+            List.map
+              (fun d ->
+                let rs =
+                  concat_runs (List.map (fun ds -> numa_key ds p d) no_tiny_datasets)
+                in
+                cell2
+                  (Experiment.geo_ratio getter cilk rs)
+                  (Experiment.geo_ratio getter hdagg rs))
+              deltas
+          in
+          row (Printf.sprintf "P=%d" p) cells)
+        numa_ps)
+    [ ("C15", ml_ratio_getter 0.15); ("C30", ml_ratio_getter 0.3); ("Copt", ml_opt_getter) ];
+  (* The Section C.6 statistic: how often no scheduler beats the trivial
+     single-processor schedule, with and without the multilevel method. *)
+  let all_runs =
+    concat_runs
+      (List.concat_map
+         (fun p ->
+           List.concat_map
+             (fun d -> List.map (fun ds -> numa_key ds p d) no_tiny_datasets)
+             deltas)
+         numa_ps)
+  in
+  let total = List.length all_runs in
+  let base_fail =
+    List.length (List.filter (fun r -> r.Experiment.ours >= r.Experiment.trivial) all_runs)
+  in
+  let ml_fail =
+    List.length (List.filter (fun r -> ml_opt_getter r >= r.Experiment.trivial) all_runs)
+  in
+  Printf.printf
+    "\nC.6: base scheduler not better than trivial: %d / %d; with ML: %d / %d\n" base_fail
+    total ml_fail total
+
+let table14 () =
+  header "Table 14: multilevel / base-scheduler cost ratio (NUMA, no tiny)";
+  List.iter
+    (fun (label, getter) ->
+      Printf.printf "%s:\n" label;
+      row "" (List.map (fun d -> Printf.sprintf "delta=%-6d" d) deltas);
+      List.iter
+        (fun p ->
+          let cells =
+            List.map
+              (fun d ->
+                let rs =
+                  concat_runs (List.map (fun ds -> numa_key ds p d) no_tiny_datasets)
+                in
+                Printf.sprintf "%11.3f" (Experiment.geo_ratio getter ours rs))
+              deltas
+          in
+          row (Printf.sprintf "P=%d" p) cells)
+        numa_ps)
+    [ ("C15", ml_ratio_getter 0.15); ("C30", ml_ratio_getter 0.3); ("Copt", ml_opt_getter) ]
+
+(* Ablations of the design choices DESIGN.md calls out: the HDagg
+   aggregation pass, the superstep-merge pass inside our local search,
+   the simulated-annealing extension, and the CCR-based automatic
+   multilevel engagement. *)
+let ablations () =
+  header "Ablations (design-choice studies, small dataset)";
+  let d = dataset "small" in
+  let p = 8 and g = 3 in
+  let m = Machine.uniform ~p ~g ~l:5 in
+  let lim = bench_limits () in
+  (* Per-instance costs for the local-search variants, all starting from
+     the better of BSPg/Source. *)
+  let rows =
+    List.map
+      (fun inst ->
+        let dag = inst.Datasets.dag in
+        let cilk = Bsp_cost.total m (Cilk.schedule dag ~p ~seed:!seed) in
+        let hdagg_on = Bsp_cost.total m (Hdagg.schedule ~aggregate:true m dag) in
+        let hdagg_off = Bsp_cost.total m (Hdagg.schedule ~aggregate:false m dag) in
+        let init =
+          let a = Bspg.schedule m dag and b = Source_heuristic.schedule m dag in
+          if Bsp_cost.total m a <= Bsp_cost.total m b then a else b
+        in
+        let budget () = Budget.steps lim.Pipeline.hc_evals in
+        let hc, _ = Hc.improve ~budget:(budget ()) m init in
+        let hc = Schedule.compact hc in
+        let hc_cost = Bsp_cost.total m hc in
+        let merged = Superstep_merge.greedy m hc in
+        let merged_cost = Bsp_cost.total m merged in
+        let hccs, _ = Hccs.improve ~budget:(Budget.steps lim.Pipeline.hccs_evals) m merged in
+        let hccs_cost = Bsp_cost.total m hccs in
+        let annealed, _ =
+          Annealing.improve ~budget:(budget ())
+            ~config:
+              { (Annealing.default_config merged_cost) with Annealing.seed = !seed }
+            m merged
+        in
+        let anneal_cost = Bsp_cost.total m annealed in
+        (cilk, hdagg_on, hdagg_off, hc_cost, merged_cost, hccs_cost, anneal_cost))
+      d.Datasets.instances
+  in
+  let geo f = Statistics.geometric_mean (List.map f rows) in
+  let r a b = float_of_int a /. float_of_int b in
+  Printf.printf "HDagg aggregation: off/on cost ratio = %.3f (its merge pass gain)\n"
+    (geo (fun (_, on, off, _, _, _, _) -> r off on));
+  Printf.printf "local search (vs Cilk): HC %.3f  +merge %.3f  +HCcs %.3f  +anneal %.3f\n"
+    (geo (fun (c, _, _, hc, _, _, _) -> r hc c))
+    (geo (fun (c, _, _, _, mg, _, _) -> r mg c))
+    (geo (fun (c, _, _, _, _, cs, _) -> r cs c))
+    (geo (fun (c, _, _, _, _, _, an) -> r an c));
+  (* CCR-based auto engagement, judged against the cached NUMA sweep. *)
+  let decisions = ref 0 and correct = ref 0 in
+  List.iter
+    (fun pq ->
+      List.iter
+        (fun dlt ->
+          List.iter
+            (fun ds ->
+              let key = numa_key ds pq dlt in
+              let machine = machine_of key in
+              let dset = dataset ds in
+              List.iter2
+                (fun inst run ->
+                  match Experiment.ml_best run with
+                  | None -> ()
+                  | Some ml ->
+                    incr decisions;
+                    let predicted =
+                      Ccr.communication_dominated machine inst.Datasets.dag
+                    in
+                    let actual = ml < run.Experiment.ours in
+                    if predicted = actual then incr correct)
+                dset.Datasets.instances (runs key))
+            no_tiny_datasets)
+        deltas)
+    numa_ps;
+  if !decisions > 0 then
+    Printf.printf
+      "CCR auto-selection (threshold %.1f): %d / %d NUMA cases decided correctly\n"
+      Ccr.default_threshold !correct !decisions;
+  (* Coarsening-strategy ablation: the paper's edge-selection rule vs a
+     communication-weighted matching, both through the same multilevel
+     driver on a communication-heavy machine. *)
+  let numa = Machine.numa_tree ~p:8 ~g:1 ~l:5 ~delta:4 in
+  let solver mach dg =
+    let init = Bspg.schedule mach dg in
+    Schedule.compact (fst (Hc.improve ~budget:(Budget.steps 50_000) mach init))
+  in
+  let strat_rows =
+    List.map
+      (fun inst ->
+        let dag = inst.Datasets.dag in
+        let run strategy =
+          Bsp_cost.total numa
+            (Multilevel.run_ratio ~strategy ~refine_interval:5 ~refine_moves:100 ~solver
+               ~ratio:0.3 numa dag)
+        in
+        (run Coarsen.Paper_rule, run Coarsen.Comm_matching))
+      d.Datasets.instances
+  in
+  Printf.printf
+    "coarsening strategy: comm-matching / paper-rule cost ratio = %.3f (P=8, delta=4)\n"
+    (Statistics.geometric_mean (List.map (fun (a, b) -> r b a) strat_rows))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel stage timings (Section 8's running-time discussion).       *)
+
+let run_timing () =
+  let open Bechamel in
+  let rng = Rng.create !seed in
+  let dag = Finegrained.exp (Sparse_matrix.random rng ~n:30 ~q:0.1) ~k:4 in
+  let m = Machine.uniform ~p:8 ~g:3 ~l:5 in
+  let init = Bspg.schedule m dag in
+  let lim = bench_limits () in
+  let tests =
+    [
+      Test.make ~name:"cilk" (Staged.stage (fun () -> Cilk.schedule dag ~p:8 ~seed:1));
+      Test.make ~name:"bl-est"
+        (Staged.stage (fun () -> List_scheduler.schedule List_scheduler.Bl_est m dag));
+      Test.make ~name:"etf"
+        (Staged.stage (fun () -> List_scheduler.schedule List_scheduler.Etf m dag));
+      Test.make ~name:"hdagg" (Staged.stage (fun () -> Hdagg.schedule m dag));
+      Test.make ~name:"bspg" (Staged.stage (fun () -> Bspg.schedule m dag));
+      Test.make ~name:"source" (Staged.stage (fun () -> Source_heuristic.schedule m dag));
+      Test.make ~name:"hc"
+        (Staged.stage (fun () -> Hc.improve ~budget:(Budget.steps 50_000) m init));
+      Test.make ~name:"hccs"
+        (Staged.stage (fun () -> Hccs.improve ~budget:(Budget.steps 20_000) m init));
+      Test.make ~name:"ilp-part"
+        (Staged.stage (fun () ->
+             Ilp_schedulers.part ~budget:(Budget.steps 20)
+               ~max_vars:lim.Pipeline.ilp_part_max_vars ~max_nodes:20 m init));
+      Test.make ~name:"ilp-cs"
+        (Staged.stage (fun () ->
+             Ilp_schedulers.comm_schedule ~budget:(Budget.steps 30)
+               ~max_vars:lim.Pipeline.ilp_cs_max_vars ~max_nodes:30 m init));
+      Test.make ~name:"coarsen-30%"
+        (Staged.stage (fun () ->
+             let session = Coarsen.start dag in
+             Coarsen.coarsen_to session ~target:(Dag.n dag * 3 / 10)));
+      Test.make ~name:"cost-eval" (Staged.stage (fun () -> Bsp_cost.total m init));
+      Test.make ~name:"validity" (Staged.stage (fun () -> Validity.is_valid m init));
+    ]
+  in
+  header "Stage timings (Bechamel, monotonic clock)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          (* Strip the synthetic group prefix Bechamel adds. *)
+          let name =
+            match String.index_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-24s %14.0f ns/run\n" name est
+          | _ -> Printf.printf "%-24s (no estimate)\n" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("fig5", fig5);
+    ("table2", table2);
+    ("fig6", fig6);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("table6", table6);
+    ("table7", table7);
+    ("table8", table8);
+    ("table9", table9);
+    ("table10", table10);
+    ("table11", table11);
+    ("table12", table12);
+    ("fig7", fig7);
+    ("table13", table13);
+    ("table14", table14);
+    ("ablations", ablations);
+  ]
+
+let () =
+  parse_args ();
+  if !list_sections then begin
+    List.iter (fun (id, _) -> print_endline id) sections;
+    exit 0
+  end;
+  Printf.printf "BSP+NUMA scheduling benchmark harness (scale=%s, seed=%d)\n"
+    (Datasets.scale_name !scale) !seed;
+  let t0 = Unix.gettimeofday () in
+  let selected =
+    match !only with
+    | [] -> sections
+    | ids -> List.filter (fun (id, _) -> List.mem id ids) sections
+  in
+  List.iter (fun (_, f) -> f ()) selected;
+  if !timing then run_timing ();
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

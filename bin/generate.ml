@@ -1,0 +1,100 @@
+(* CLI: generate computational DAG instances into hyperDAG files.
+
+   Examples:
+     generate --family exp --target 500 --seed 3 out.hdag
+     generate --family cg --matrix-n 40 --density 0.1 --iterations 4 out.hdag
+     generate --family pagerank --iterations 100 out.hdag *)
+
+open Cmdliner
+
+type family =
+  | Fine of Finegrained.family
+  | Coarse of Coarsegrained.algorithm
+
+let families =
+  [
+    ("spmv", Fine Finegrained.Spmv);
+    ("exp", Fine Finegrained.Exp);
+    ("cg", Fine Finegrained.Cg);
+    ("knn", Fine Finegrained.Knn);
+    ("cg-coarse", Coarse Coarsegrained.Cg_coarse);
+    ("bicgstab", Coarse Coarsegrained.Bicgstab);
+    ("pagerank", Coarse Coarsegrained.Pagerank);
+    ("labelprop", Coarse Coarsegrained.Label_propagation);
+    ("knn-coarse", Coarse Coarsegrained.Knn_coarse);
+  ]
+
+let run family target matrix_n density iterations deep seed output =
+  let rng = Rng.create seed in
+  let dag =
+    match family with
+    | Fine f ->
+      (match (target, matrix_n) with
+       | Some target, _ ->
+         let shape = if deep then Finegrained.Deep else Finegrained.Wide in
+         Finegrained.generate_sized rng ~family:f ~shape ~target
+       | None, Some n ->
+         let a =
+           match f with
+           | Finegrained.Cg -> Sparse_matrix.random_symmetric rng ~n ~q:density
+           | _ -> Sparse_matrix.random rng ~n ~q:density
+         in
+         (match f with
+          | Finegrained.Spmv -> Finegrained.spmv a
+          | Finegrained.Exp -> Finegrained.exp a ~k:iterations
+          | Finegrained.Cg -> Finegrained.cg a ~k:iterations
+          | Finegrained.Knn -> Finegrained.knn rng a ~k:iterations)
+       | None, None ->
+         failwith "fine-grained families need either --target or --matrix-n")
+    | Coarse algo ->
+      (match target with
+       | Some target -> Coarsegrained.generate_sized algo ~target
+       | None -> Coarsegrained.generate algo ~iterations)
+  in
+  Hyperdag_io.write_file output dag;
+  Printf.printf "%s: %d nodes, %d edges, %d wavefronts, total work %d\n" output (Dag.n dag)
+    (Dag.num_edges dag) (Dag.num_wavefronts dag) (Dag.total_work dag)
+
+let family =
+  Arg.(
+    required
+    & opt (some (enum families)) None
+    & info [ "family"; "f" ]
+        ~doc:
+          "Instance family: fine-grained ($(b,spmv), $(b,exp), $(b,cg), $(b,knn)) or \
+           coarse-grained op-level ($(b,cg-coarse), $(b,bicgstab), $(b,pagerank), \
+           $(b,labelprop), $(b,knn-coarse)).")
+
+let target =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "target"; "n" ] ~doc:"Approximate number of DAG nodes to generate.")
+
+let matrix_n =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "matrix-n" ] ~doc:"Sparse matrix dimension (fine-grained families).")
+
+let density =
+  Arg.(value & opt float 0.1 & info [ "density"; "q" ] ~doc:"Nonzero probability.")
+
+let iterations =
+  Arg.(value & opt int 3 & info [ "iterations"; "k" ] ~doc:"Iteration count.")
+
+let deep =
+  Arg.(value & flag & info [ "deep" ] ~doc:"Prefer a deep shape with --target.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let output =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OUTPUT" ~doc:"Output file.")
+
+let cmd =
+  let doc = "generate computational DAG instances (hyperDAG format)" in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(
+      const run $ family $ target $ matrix_n $ density $ iterations $ deep $ seed $ output)
+
+let () = exit (Cmd.eval cmd)

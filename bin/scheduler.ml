@@ -1,0 +1,134 @@
+(* CLI: schedule a hyperDAG file on a described BSP(+NUMA) machine.
+
+   Examples:
+     scheduler input.hdag -p 8 -g 3 -l 5
+     scheduler input.hdag -p 16 --numa-delta 4 --algorithm multilevel \
+       --seconds 30 --output out.schedule *)
+
+open Cmdliner
+
+let algorithms =
+  [
+    ("pipeline", `Pipeline);
+    ("multilevel", `Multilevel);
+    ("cilk", `Cilk);
+    ("hdagg", `Hdagg);
+    ("bl-est", `Bl_est);
+    ("etf", `Etf);
+    ("bspg", `Bspg);
+    ("source", `Source);
+    ("trivial", `Trivial);
+  ]
+
+let run input p g l delta machine_file algorithm seconds output seed quiet show =
+  let dag = Hyperdag_io.read_file input in
+  let machine =
+    match machine_file with
+    | Some path -> Machine_io.read_file path
+    | None ->
+      (match delta with
+       | None -> Machine.uniform ~p ~g ~l
+       | Some delta -> Machine.numa_tree ~p ~g ~l ~delta)
+  in
+  let limits =
+    { Pipeline.thorough_limits with Pipeline.stage_seconds = Some (seconds /. 6.0) }
+  in
+  let schedule =
+    match List.assoc algorithm algorithms with
+    | `Pipeline -> fst (Pipeline.run ~limits machine dag)
+    | `Multilevel -> Pipeline.run_multilevel ~limits machine dag
+    | `Cilk -> Cilk.schedule dag ~p ~seed
+    | `Hdagg -> Hdagg.schedule machine dag
+    | `Bl_est -> List_scheduler.schedule List_scheduler.Bl_est machine dag
+    | `Etf -> List_scheduler.schedule List_scheduler.Etf machine dag
+    | `Bspg -> Bspg.schedule machine dag
+    | `Source -> Source_heuristic.schedule machine dag
+    | `Trivial -> Schedule.trivial dag
+  in
+  (match Validity.check machine schedule with
+   | Ok () -> ()
+   | Error errs ->
+     List.iter prerr_endline errs;
+     failwith "internal error: scheduler produced an invalid schedule");
+  let b = Bsp_cost.breakdown machine schedule in
+  if not quiet then begin
+    Printf.printf "instance:   %s (%d nodes, %d edges)\n" input (Dag.n dag)
+      (Dag.num_edges dag);
+    Printf.printf "machine:    %s\n" (Format.asprintf "%a" Machine.pp machine);
+    Printf.printf "algorithm:  %s\n" algorithm;
+    Printf.printf "supersteps: %d\n" (Schedule.num_supersteps schedule);
+    Printf.printf "cost:       %d (work %d + comm %d + latency %d)\n" b.Bsp_cost.total
+      b.Bsp_cost.work_total b.Bsp_cost.comm_total b.Bsp_cost.latency_total
+  end
+  else Printf.printf "%d\n" b.Bsp_cost.total;
+  if show then print_string (Schedule_render.to_string machine schedule);
+  match output with
+  | None -> ()
+  | Some path ->
+    Schedule_io.write_file path schedule;
+    if not quiet then Printf.printf "schedule written to %s\n" path
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"HyperDAG input file.")
+
+let p = Arg.(value & opt int 4 & info [ "p"; "procs" ] ~doc:"Number of processors.")
+let g = Arg.(value & opt int 1 & info [ "g"; "comm-cost" ] ~doc:"Per-unit communication cost.")
+let l = Arg.(value & opt int 5 & info [ "l"; "latency" ] ~doc:"Latency per superstep.")
+
+let delta =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "numa-delta" ]
+        ~doc:
+          "Enable NUMA: processors form a binary tree and each level multiplies the unit \
+           cost by $(docv). Requires --p to be a power of two." ~docv:"DELTA")
+
+let algorithm =
+  Arg.(
+    value
+    & opt (enum algorithms) `Pipeline
+    & info [ "algorithm"; "a" ]
+        ~doc:
+          "Scheduler to run: $(b,pipeline) (the full framework), $(b,multilevel), or a \
+           baseline ($(b,cilk), $(b,hdagg), $(b,bl-est), $(b,etf), $(b,bspg), \
+           $(b,source), $(b,trivial)).")
+
+let algorithm_name =
+  Term.(
+    const (fun a -> fst (List.find (fun (_, v) -> v = a) algorithms)) $ algorithm)
+
+let seconds =
+  Arg.(
+    value & opt float 60.0
+    & info [ "seconds" ] ~doc:"Approximate total optimisation time budget.")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~doc:"Write the schedule to this file.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed (Cilk stealing).")
+let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the total cost.")
+
+let machine_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "machine" ]
+        ~doc:
+          "Read the machine from a description file (overrides -p/-g/-l/--numa-delta); \
+           supports arbitrary explicit NUMA matrices, see Machine_io.")
+
+let show =
+  Arg.(value & flag & info [ "show" ] ~doc:"Print a per-superstep schedule rendering.")
+
+let cmd =
+  let doc = "schedule a computational DAG in the BSP+NUMA model" in
+  Cmd.v
+    (Cmd.info "scheduler" ~doc)
+    Term.(const run $ input $ p $ g $ l $ delta $ machine_file $ algorithm_name $ seconds
+          $ output $ seed $ quiet $ show)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,31 @@
+(* Automatic method selection: the extended communication-to-computation
+   ratio (CCR) decides when the multilevel scheduler should be engaged —
+   the paper's future-work idea from Appendix C.6, implemented by
+   Pipeline.run_auto.
+
+   Run with:  dune exec examples/auto_selection.exe *)
+
+let () =
+  let rng = Rng.create 11 in
+  let dag = Finegrained.exp (Sparse_matrix.random rng ~n:25 ~q:0.12) ~k:4 in
+  Printf.printf "workload: %d-node iterated spmv DAG\n\n" (Dag.n dag);
+  Printf.printf "%-34s %8s %12s %10s\n" "machine" "CCR" "method" "cost";
+  List.iter
+    (fun (label, machine) ->
+      let schedule, choice = Pipeline.run_auto machine dag in
+      assert (Validity.is_valid machine schedule);
+      Printf.printf "%-34s %8.2f %12s %10d\n" label (Ccr.ccr machine dag)
+        (match choice with
+         | Pipeline.Base -> "base"
+         | Pipeline.Multilevel_chosen -> "multilevel")
+        (Bsp_cost.total machine schedule))
+    [
+      ("uniform P=8, g=1", Machine.uniform ~p:8 ~g:1 ~l:5);
+      ("uniform P=8, g=5", Machine.uniform ~p:8 ~g:5 ~l:5);
+      ("NUMA tree P=8, delta=2", Machine.numa_tree ~p:8 ~g:1 ~l:5 ~delta:2);
+      ("NUMA tree P=16, delta=3", Machine.numa_tree ~p:16 ~g:1 ~l:5 ~delta:3);
+      ("NUMA tree P=16, delta=4", Machine.numa_tree ~p:16 ~g:1 ~l:5 ~delta:4);
+    ];
+  Printf.printf
+    "\nthe multilevel pipeline is attempted only above the CCR threshold (%.1f)\n"
+    Ccr.default_threshold

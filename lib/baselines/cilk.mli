@@ -1,0 +1,21 @@
+(** Cilk-style work-stealing baseline (Section 4.1, Appendix A.1).
+
+    A discrete-event simulation of the classic work-stealing scheduler
+    adapted to DAGs: every processor keeps a stack of ready nodes; when
+    the execution of the last unfinished direct predecessor of a node [v]
+    finishes on processor [p], [v] is pushed on top of [p]'s stack (this
+    generalises Cilk's "spawned children go to the spawning processor").
+    An idle processor pops the top of its own stack; if the stack is
+    empty it steals the {e bottom} node of a uniformly random non-empty
+    victim stack. The victim choice is the only source of randomness and
+    is driven by the seed.
+
+    The simulated execution yields a classical schedule which is then
+    organised into supersteps via {!Classical.to_bsp} and completed with
+    the lazy communication schedule. *)
+
+val run : Dag.t -> p:int -> seed:int -> Classical.t
+(** Simulate the work-stealing execution on [p] processors. *)
+
+val schedule : Dag.t -> p:int -> seed:int -> Schedule.t
+(** [run] followed by the BSP conversion. *)

@@ -1,0 +1,26 @@
+(** HDagg-style wavefront scheduler (Section 4.1, Appendix A.1).
+
+    HDagg (Zarebavani et al., IPDPS 2022) sorts the nodes of a DAG into
+    {e wavefronts} — essentially supersteps — and distributes each
+    wavefront over the processors, striving for both a balanced per-
+    processor workload inside each wavefront and a low volume of
+    communication between wavefronts; its signature {e hybrid
+    aggregation} then merges consecutive wavefronts when doing so is
+    beneficial. The original implementation is an external C++ library;
+    this module is a faithful OCaml reimplementation of the idea
+    operating directly on our DAG type (DESIGN.md, substitution 4):
+
+    - wavefront of [v] = longest edge distance from a source;
+    - within a wavefront, each node prefers the processor that already
+      holds the largest communication weight of its predecessors, subject
+      to a load cap of roughly the average wavefront work per processor;
+    - an aggregation pass greedily merges a wavefront into its
+      predecessor when no cross-processor dependency separates them and
+      the exact BSP cost decreases.
+
+    Because the scheduler works wavefront-by-wavefront, its output is
+    already a BSP schedule and needs no classical conversion. *)
+
+val schedule : ?aggregate:bool -> Machine.t -> Dag.t -> Schedule.t
+(** [aggregate] defaults to [true]; [false] disables the merging pass
+    (exposed for the ablation benchmark). *)

@@ -1,0 +1,13 @@
+let ccr machine dag =
+  let work = Dag.total_work dag in
+  if work = 0 then infinity
+  else
+    float_of_int machine.Machine.g
+    *. Machine.average_lambda machine
+    *. float_of_int (Dag.total_comm dag)
+    /. float_of_int work
+
+let default_threshold = 5.0
+
+let communication_dominated ?(threshold = default_threshold) machine dag =
+  ccr machine dag >= threshold

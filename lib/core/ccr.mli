@@ -1,0 +1,24 @@
+(** Extended communication-to-computation ratio.
+
+    Özkaya et al. characterise communication-dominated instances with
+    [CCR = sum c(v) / sum w(v)]; Appendix A.5 of the paper notes that in
+    the BSP+NUMA model the natural generalisation also multiplies the
+    numerator by [g] and the average NUMA coefficient (and observes that
+    folding in the latency [l] is not straightforward). This module
+    implements that extended metric and uses it to predict when the
+    multilevel method should be engaged — the direction the paper calls
+    its most promising future work (Appendix C.6).
+
+    The default engagement threshold was tuned on the benchmark sweeps:
+    with the paper's unit communication weights it separates the
+    (P, delta) cells where the multilevel scheduler wins (delta >= 3, or
+    delta = 4 at P = 8) from those where the base pipeline is better. *)
+
+val ccr : Machine.t -> Dag.t -> float
+(** [g * average_lambda * total_comm / total_work]; [infinity] for a
+    DAG with zero total work. *)
+
+val default_threshold : float
+(** Engage the multilevel method when {!ccr} is at least this value. *)
+
+val communication_dominated : ?threshold:float -> Machine.t -> Dag.t -> bool

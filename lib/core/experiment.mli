@@ -1,0 +1,58 @@
+(** Experiment runner: evaluate every scheduler on an instance and
+    aggregate cost ratios the way the paper does (Section 7).
+
+    For each (DAG, machine) pair this runs the baselines (trivial, Cilk,
+    optionally BL-EST and ETF, HDagg) and the framework pipeline
+    (optionally also the multilevel variant) and records the exact BSP
+    cost of each result. Datasets aggregate per-instance cost ratios by
+    geometric mean, which is the paper's metric; improvements are then
+    reported as percentage cost reductions. *)
+
+type options = {
+  limits : Pipeline.limits;
+  ml_solver_limits : Pipeline.limits option;
+      (** limits for the multilevel coarse-solving phase; [None] reuses
+          [limits] *)
+  with_list_baselines : bool;  (** run BL-EST and ETF *)
+  with_multilevel : bool;
+  ml_ratios : float list;  (** ratios for the multilevel run *)
+  seed : int;  (** drives the Cilk victim choice *)
+}
+
+val default_options : options
+
+type run = {
+  trivial : int;
+  cilk : int;
+  bl_est : int option;
+  etf : int option;
+  hdagg : int;
+  stage : Pipeline.stage_costs;  (** the framework's per-stage costs *)
+  ours : int;  (** [stage.final_cost] *)
+  multilevel : (float * int) list;
+      (** cost of the multilevel pipeline per coarsening ratio (empty
+          unless [with_multilevel]); Tables 13-14 report the 0.15 and
+          0.30 columns and their minimum *)
+}
+
+val ml_best : run -> int option
+(** Cheapest multilevel result across ratios — the paper's C_opt. *)
+
+val ml_at_ratio : run -> float -> int option
+
+val evaluate : options -> Machine.t -> Dag.t -> run
+(** All schedulers on one instance. Every produced schedule is validated
+    with {!Validity} before its cost is trusted; an invalid schedule
+    raises [Failure] (this is an internal-consistency guard — it should
+    never fire). *)
+
+(** {1 Aggregation} *)
+
+val ratio : int -> int -> float
+(** [ratio ours baseline] as a float; the trivial 0/0 case maps to 1. *)
+
+val geo_ratio : (run -> int) -> (run -> int) -> run list -> float
+(** Geometric mean of [num r / den r] over the runs. *)
+
+val reduction_percent : float -> float
+(** Cost-reduction percentage of a ratio, as printed in the tables. *)

@@ -1,0 +1,263 @@
+type limits = {
+  hc_evals : int;
+  hccs_evals : int;
+  ilp_full_max_vars : int;
+  ilp_full_nodes : int;
+  ilp_part_max_vars : int;
+  ilp_part_nodes : int;
+  ilp_init_max_vars : int;
+  ilp_init_nodes : int;
+  ilp_cs_max_vars : int;
+  ilp_cs_nodes : int;
+  use_ilp : bool;
+  use_ilp_init : bool;
+  stage_seconds : float option;
+}
+
+let default_limits =
+  {
+    hc_evals = 400_000;
+    hccs_evals = 100_000;
+    ilp_full_max_vars = 260;
+    ilp_full_nodes = 1_200;
+    ilp_part_max_vars = 200;
+    ilp_part_nodes = 120;
+    ilp_init_max_vars = 160;
+    ilp_init_nodes = 120;
+    ilp_cs_max_vars = 260;
+    ilp_cs_nodes = 250;
+    use_ilp = true;
+    use_ilp_init = false;
+    stage_seconds = Some 5.0;
+  }
+
+let fast_limits =
+  {
+    default_limits with
+    hc_evals = 150_000;
+    hccs_evals = 50_000;
+    use_ilp = false;
+    use_ilp_init = false;
+  }
+
+let thorough_limits =
+  {
+    default_limits with
+    hc_evals = 2_000_000;
+    hccs_evals = 500_000;
+    ilp_full_max_vars = 400;
+    ilp_full_nodes = 8_000;
+    ilp_part_max_vars = 260;
+    ilp_part_nodes = 500;
+    ilp_cs_nodes = 1_000;
+    use_ilp_init = true;
+    stage_seconds = Some 30.0;
+  }
+
+type stage_costs = {
+  best_init_name : string;
+  init_cost : int;
+  after_local_search : int;
+  after_ilp_part : int;
+  final_cost : int;
+  ilp_full_optimal : bool;
+}
+
+let stage_budget limits evals =
+  match limits.stage_seconds with
+  | None -> Budget.steps evals
+  | Some s -> Budget.combine (Budget.steps evals) (Budget.seconds s)
+
+(* HC followed by HCcs — the paper's HC+HCcs block, with the 90/10 split
+   of the time budget realised through the two eval caps. A greedy
+   superstep-merge pass in between crosses the plateau single-node moves
+   cannot (emptying a superstep is cost-neutral move by move). *)
+let local_search limits machine sched =
+  let hc, _ = Hc.improve ~budget:(stage_budget limits limits.hc_evals) machine sched in
+  let hc = Superstep_merge.greedy machine (Schedule.compact hc) in
+  let hccs, _ = Hccs.improve ~budget:(stage_budget limits limits.hccs_evals) machine hc in
+  hccs
+
+let cost machine s = Bsp_cost.total machine s
+
+let run ?(limits = default_limits) ?(with_trivial_init = true) machine dag =
+  let inits =
+    [
+      ("bspg", fun () -> Bspg.schedule machine dag);
+      ("source", fun () -> Source_heuristic.schedule machine dag);
+    ]
+    @ (if with_trivial_init then
+         (* The trivial single-processor schedule as a safety net: in
+            communication-dominated instances it is sometimes the best
+            solution any method finds (Section 7.3), and carrying it
+            through the pipeline guarantees the framework never returns
+            anything more expensive. The multilevel coarse-solving phase
+            excludes it: hill climbing cannot leave a single-superstep
+            schedule (no neighbouring superstep exists), so it would trap
+            the refinement phase. *)
+         [ ("trivial", fun () -> Schedule.trivial dag) ]
+       else [])
+    @
+    if limits.use_ilp && limits.use_ilp_init then
+      [
+        ( "ilp-init",
+          fun () ->
+            Ilp_schedulers.init
+              ~budget:(stage_budget limits limits.ilp_init_nodes)
+              ~max_vars:limits.ilp_init_max_vars ~max_nodes:limits.ilp_init_nodes
+              machine dag );
+      ]
+    else []
+  in
+  (* Improve every initial schedule separately with HC+HCcs (running the
+     local search is cheap — Section 6) and keep the best. *)
+  let candidates =
+    List.map
+      (fun (name, f) ->
+        let init = f () in
+        let improved = local_search limits machine init in
+        (name, cost machine init, improved, cost machine improved))
+      inits
+  in
+  let best_init_name, init_cost, best, best_cost =
+    match candidates with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun (bn, bi, bs, bc) (n, i, s, c) -> if c < bc then (n, i, s, c) else (bn, bi, bs, bc))
+        first rest
+  in
+  let after_local_search = best_cost in
+  let best = ref best and best_cost = ref best_cost in
+  let ilp_full_optimal = ref false in
+  if limits.use_ilp then begin
+    (* ILPfull on small models; skip the rest when it proved optimality. *)
+    let full_sched, full_report =
+      Ilp_schedulers.full
+        ~budget:(stage_budget limits limits.ilp_full_nodes)
+        ~max_vars:limits.ilp_full_max_vars ~max_nodes:limits.ilp_full_nodes machine
+        (Schedule.with_lazy_comm !best)
+    in
+    ilp_full_optimal :=
+      full_report.Ilp_schedulers.sub_solves > 0 && full_report.Ilp_schedulers.proven_optimal;
+    if cost machine full_sched < !best_cost then begin
+      best := full_sched;
+      best_cost := cost machine full_sched
+    end;
+    if not !ilp_full_optimal then begin
+      let part_sched, _ =
+        Ilp_schedulers.part
+          ~budget:(stage_budget limits limits.ilp_part_nodes)
+          ~max_vars:limits.ilp_part_max_vars ~max_nodes:limits.ilp_part_nodes machine
+          (Schedule.with_lazy_comm !best)
+      in
+      (* The partial ILP reasons over lazy communication; give its result
+         the same HCcs polish before comparing. *)
+      let part_sched, _ =
+        Hccs.improve ~budget:(stage_budget limits limits.hccs_evals) machine part_sched
+      in
+      if cost machine part_sched < !best_cost then begin
+        best := part_sched;
+        best_cost := cost machine part_sched
+      end
+    end
+  end;
+  let after_ilp_part = !best_cost in
+  if limits.use_ilp && not !ilp_full_optimal then begin
+    let cs_sched, _ =
+      Ilp_schedulers.comm_schedule
+        ~budget:(stage_budget limits limits.ilp_cs_nodes)
+        ~max_vars:limits.ilp_cs_max_vars ~max_nodes:limits.ilp_cs_nodes machine !best
+    in
+    if cost machine cs_sched < !best_cost then begin
+      best := cs_sched;
+      best_cost := cost machine cs_sched
+    end
+  end;
+  ( !best,
+    {
+      best_init_name;
+      init_cost;
+      after_local_search;
+      after_ilp_part;
+      final_cost = !best_cost;
+      ilp_full_optimal = !ilp_full_optimal;
+    } )
+
+(* The base pipeline as a multilevel solving-phase callback: ILPcs is
+   withheld until after uncoarsening (Figure 4). *)
+let base_solver limits machine dag =
+  let sched, _ =
+    run
+      ~limits:{ limits with ilp_cs_nodes = 0; ilp_cs_max_vars = 0 }
+      ~with_trivial_init:false machine dag
+  in
+  Schedule.with_lazy_comm sched
+
+let default_solver_limits limits = limits
+
+let polish_comm limits machine sched =
+  let hccs, _ =
+    Hccs.improve ~budget:(stage_budget limits limits.hccs_evals) machine sched
+  in
+  if limits.use_ilp then begin
+    let cs, _ =
+      Ilp_schedulers.comm_schedule
+        ~budget:(stage_budget limits limits.ilp_cs_nodes)
+        ~max_vars:limits.ilp_cs_max_vars ~max_nodes:limits.ilp_cs_nodes machine hccs
+    in
+    if cost machine cs < cost machine hccs then cs else hccs
+  end
+  else hccs
+
+let run_multilevel_ratio ?(limits = default_limits) ?solver_limits ~ratio machine dag =
+  let solver_limits = Option.value ~default:(default_solver_limits limits) solver_limits in
+  let sched =
+    Multilevel.run_ratio
+      ~budget:(stage_budget limits limits.hc_evals)
+      ~refine_interval:Multilevel.default_config.Multilevel.refine_interval
+      ~refine_moves:Multilevel.default_config.Multilevel.refine_moves
+      ~solver:(base_solver solver_limits) ~ratio machine dag
+  in
+  polish_comm limits machine sched
+
+let run_multilevel ?(limits = default_limits) ?solver_limits
+    ?(config = Multilevel.default_config) machine dag =
+  let candidates =
+    List.map
+      (fun ratio -> run_multilevel_ratio ~limits ?solver_limits ~ratio machine dag)
+      config.Multilevel.ratios
+  in
+  match candidates with
+  | [] -> invalid_arg "Pipeline.run_multilevel: no ratios configured"
+  | first :: rest ->
+    List.fold_left
+      (fun bst cand -> if cost machine cand < cost machine bst then cand else bst)
+      first rest
+
+type choice = Base | Multilevel_chosen
+
+(* Appendix C.6 closes with the hope that the multilevel method can
+   learn when coarsening is needed; this realises the simplest version
+   of that idea through the extended CCR metric. *)
+let run_auto ?(limits = default_limits) ?solver_limits ?threshold machine dag =
+  let base, stage = run ~limits machine dag in
+  if Ccr.communication_dominated ?threshold machine dag then begin
+    let candidates =
+      List.map
+        (fun ratio -> run_multilevel_ratio ~limits ?solver_limits ~ratio machine dag)
+        Multilevel.default_config.Multilevel.ratios
+    in
+    let best_ml =
+      List.fold_left
+        (fun acc cand ->
+          match acc with
+          | Some b when cost machine b <= cost machine cand -> acc
+          | _ -> Some cand)
+        None candidates
+    in
+    match best_ml with
+    | Some ml when cost machine ml < stage.final_cost -> (ml, Multilevel_chosen)
+    | _ -> (base, Base)
+  end
+  else (base, Base)

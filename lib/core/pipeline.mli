@@ -1,0 +1,111 @@
+(** The combined scheduling framework (Section 6, Figures 3 and 4).
+
+    The base pipeline runs every applicable initialisation heuristic
+    (BSPg, Source, and optionally ILPinit), improves each with HC + HCcs
+    and keeps the best; it then applies the ILP stages: ILPfull when the
+    model is small enough, and — unless ILPfull proved its answer optimal
+    — ILPpart followed by ILPcs. Every stage is an improvement operator,
+    so the pipeline's cost is monotonically non-increasing across stages,
+    and the per-stage costs are reported for the experiment tables
+    (Table 7, Figure 5).
+
+    The multilevel pipeline (Figure 4) wraps the base pipeline in the
+    coarsen-solve-refine scheme of {!Multilevel}, running the
+    communication-schedule optimisers only on the final uncoarsened
+    schedule.
+
+    Budgets are given as specs ({!limits}) rather than live
+    {!Budget.t} values because each stage consumes a fresh budget; step
+    limits keep results deterministic, and an optional per-stage
+    wall-clock cap mirrors the paper's per-stage minute limits. *)
+
+type limits = {
+  hc_evals : int;  (** candidate evaluations per HC run *)
+  hccs_evals : int;
+  ilp_full_max_vars : int;  (** gate for attempting ILPfull at all *)
+  ilp_full_nodes : int;  (** branch-and-bound node cap *)
+  ilp_part_max_vars : int;  (** interval sizing, the 4000-variable analogue *)
+  ilp_part_nodes : int;
+  ilp_init_max_vars : int;
+  ilp_init_nodes : int;
+  ilp_cs_max_vars : int;
+  ilp_cs_nodes : int;
+  use_ilp : bool;  (** disable all ILP stages (huge dataset runs) *)
+  use_ilp_init : bool;
+      (** run the ILPinit initialiser; the experiments enable it only for
+          [P = 4], where the training runs showed it competitive
+          (Appendix C.1) *)
+  stage_seconds : float option;  (** optional wall-clock cap per stage *)
+}
+
+val default_limits : limits
+(** Balanced limits for the benchmark harness. *)
+
+val fast_limits : limits
+(** Heuristics + local search only ([use_ilp = false]), with smaller HC
+    budgets — the configuration used on the huge dataset. *)
+
+val thorough_limits : limits
+(** Larger ILP budgets for small instances and the CLI. *)
+
+type stage_costs = {
+  best_init_name : string;
+      (** "bspg", "source", "trivial" or "ilp-init"; the trivial
+          single-processor schedule rides along as a safety net so the
+          framework never returns anything costlier than it
+          (Section 7.3 motivates this for communication-dominated
+          instances) *)
+  init_cost : int;  (** best initialisation, before local search *)
+  after_local_search : int;  (** after HC + HCcs (the paper's "HCcs") *)
+  after_ilp_part : int;  (** after ILPfull + ILPpart (the "ILPpart" column) *)
+  final_cost : int;  (** after ILPcs *)
+  ilp_full_optimal : bool;
+}
+
+val run :
+  ?limits:limits ->
+  ?with_trivial_init:bool ->
+  Machine.t ->
+  Dag.t ->
+  Schedule.t * stage_costs
+(** The base pipeline of Figure 3. The returned schedule is valid and
+    compacted, with an explicit (optimised) communication schedule.
+    [with_trivial_init] (default [true]) includes the trivial
+    single-processor schedule among the initial candidates; the
+    multilevel coarse-solving phase turns it off (see
+    {!stage_costs.best_init_name}). *)
+
+val run_multilevel :
+  ?limits:limits ->
+  ?solver_limits:limits ->
+  ?config:Multilevel.config ->
+  Machine.t ->
+  Dag.t ->
+  Schedule.t
+(** The multilevel pipeline of Figure 4: coarsen, solve with the base
+    pipeline (without ILPcs), refine, then HCcs + ILPcs on the result.
+    Tries every ratio in [config] and keeps the cheapest.
+    [solver_limits] (default [limits]) governs the base pipeline run on
+    the coarse DAG; the benchmark harness passes a cheaper configuration
+    there to bound total sweep time. *)
+
+val run_multilevel_ratio :
+  ?limits:limits -> ?solver_limits:limits -> ratio:float -> Machine.t -> Dag.t -> Schedule.t
+(** Single-ratio variant for the C15/C30 ablation (Tables 13, 14). *)
+
+(** {1 Automatic method selection} *)
+
+type choice = Base | Multilevel_chosen
+
+val run_auto :
+  ?limits:limits ->
+  ?solver_limits:limits ->
+  ?threshold:float ->
+  Machine.t ->
+  Dag.t ->
+  Schedule.t * choice
+(** Run the base pipeline, and additionally the multilevel pipeline when
+    the instance is communication-dominated according to {!Ccr}
+    (threshold overridable); return the cheaper schedule and which
+    method produced it. This implements the paper's future-work idea of
+    deciding automatically whether coarsening is needed (Appendix C.6). *)

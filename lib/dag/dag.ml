@@ -1,0 +1,303 @@
+type t = {
+  n : int;
+  succ : int array array;
+  pred : int array array;
+  work : int array;
+  comm : int array;
+  (* Caches computed lazily; both are pure functions of the structure. *)
+  mutable topo : int array option;
+  mutable rank : int array option;
+}
+
+let n g = g.n
+
+let num_edges g = Array.fold_left (fun acc a -> acc + Array.length a) 0 g.succ
+
+let work g v = g.work.(v)
+let comm g v = g.comm.(v)
+let succ g v = g.succ.(v)
+let pred g v = g.pred.(v)
+let in_degree g v = Array.length g.pred.(v)
+let out_degree g v = Array.length g.succ.(v)
+
+let total_work g = Array.fold_left ( + ) 0 g.work
+let total_comm g = Array.fold_left ( + ) 0 g.comm
+
+let sources g =
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    if in_degree g v = 0 then acc := v :: !acc
+  done;
+  !acc
+
+let sinks g =
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    if out_degree g v = 0 then acc := v :: !acc
+  done;
+  !acc
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> f u v) g.succ.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let s = g.succ.(u) in
+    for i = Array.length s - 1 downto 0 do
+      acc := (u, s.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let has_edge g u v = Array.exists (fun x -> x = v) g.succ.(u)
+
+(* Kahn's algorithm with a smallest-id-first priority discipline so the
+   resulting order is deterministic and independent of edge insertion
+   order. A simple module-level binary heap keeps this O((n+m) log n). *)
+let compute_topo g =
+  let indeg = Array.init g.n (fun v -> in_degree g v) in
+  let heap = Array.make (g.n + 1) 0 in
+  let size = ref 0 in
+  let push x =
+    incr size;
+    heap.(!size) <- x;
+    let i = ref !size in
+    while !i > 1 && heap.(!i / 2) > heap.(!i) do
+      let p = !i / 2 in
+      let tmp = heap.(p) in
+      heap.(p) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := p
+    done
+  in
+  let pop () =
+    let top = heap.(1) in
+    heap.(1) <- heap.(!size);
+    decr size;
+    let i = ref 1 in
+    let continue = ref true in
+    while !continue do
+      let l = 2 * !i and r = (2 * !i) + 1 in
+      let smallest = ref !i in
+      if l <= !size && heap.(l) < heap.(!smallest) then smallest := l;
+      if r <= !size && heap.(r) < heap.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = heap.(!smallest) in
+        heap.(!smallest) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+  in
+  for v = 0 to g.n - 1 do
+    if indeg.(v) = 0 then push v
+  done;
+  let order = Array.make g.n 0 in
+  let k = ref 0 in
+  while !size > 0 do
+    let u = pop () in
+    order.(!k) <- u;
+    incr k;
+    Array.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then push v)
+      g.succ.(u)
+  done;
+  if !k <> g.n then failwith "Dag: graph contains a directed cycle";
+  order
+
+let topological_order g =
+  match g.topo with
+  | Some o -> o
+  | None ->
+    let o = compute_topo g in
+    g.topo <- Some o;
+    o
+
+let topological_rank g =
+  match g.rank with
+  | Some r -> r
+  | None ->
+    let o = topological_order g in
+    let r = Array.make g.n 0 in
+    Array.iteri (fun i v -> r.(v) <- i) o;
+    g.rank <- Some r;
+    r
+
+let build_arrays ~n ~edges =
+  if n < 0 then invalid_arg "Dag: negative node count";
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Dag: edge endpoint out of range";
+      if u = v then invalid_arg "Dag: self-loop")
+    edges;
+  let succ_sets = Array.make n [] in
+  List.iter (fun (u, v) -> succ_sets.(u) <- v :: succ_sets.(u)) edges;
+  let dedup l = List.sort_uniq compare l in
+  let succ = Array.map (fun l -> Array.of_list (dedup l)) succ_sets in
+  let pred_sets = Array.make n [] in
+  Array.iteri (fun u s -> Array.iter (fun v -> pred_sets.(v) <- u :: pred_sets.(v)) s) succ;
+  let pred = Array.map (fun l -> Array.of_list (dedup l)) pred_sets in
+  (succ, pred)
+
+let of_edges_unchecked ~n ~edges ~work ~comm =
+  if Array.length work <> n || Array.length comm <> n then
+    invalid_arg "Dag: weight array length mismatch";
+  Array.iter (fun w -> if w < 0 then invalid_arg "Dag: negative work weight") work;
+  Array.iter (fun c -> if c < 0 then invalid_arg "Dag: negative comm weight") comm;
+  let succ, pred = build_arrays ~n ~edges in
+  { n; succ; pred; work = Array.copy work; comm = Array.copy comm; topo = None; rank = None }
+
+let of_edges ~n ~edges ~work ~comm =
+  let g = of_edges_unchecked ~n ~edges ~work ~comm in
+  (* Computing the topological order both validates acyclicity and warms
+     the cache. *)
+  (try ignore (topological_order g : int array)
+   with Failure _ -> invalid_arg "Dag.of_edges: edge set contains a directed cycle");
+  g
+
+let is_acyclic_edges ~n edges =
+  let work = Array.make n 0 and comm = Array.make n 0 in
+  let g = of_edges_unchecked ~n ~edges ~work ~comm in
+  match compute_topo g with
+  | (_ : int array) -> true
+  | exception Failure _ -> false
+
+let wavefronts g =
+  let order = topological_order g in
+  let level = Array.make g.n 0 in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun u -> if level.(u) + 1 > level.(v) then level.(v) <- level.(u) + 1)
+        g.pred.(v))
+    order;
+  level
+
+let num_wavefronts g =
+  if g.n = 0 then 0
+  else 1 + Array.fold_left max 0 (wavefronts g)
+
+let bottom_level g ~comm_factor =
+  let order = topological_order g in
+  let bl = Array.make g.n 0 in
+  for i = g.n - 1 downto 0 do
+    let v = order.(i) in
+    let best = ref 0 in
+    Array.iter
+      (fun u ->
+        let cand = (comm_factor * g.comm.(v)) + bl.(u) in
+        if cand > !best then best := cand)
+      g.succ.(v);
+    bl.(v) <- g.work.(v) + !best
+  done;
+  bl
+
+let critical_path_work g =
+  if g.n = 0 then 0
+  else Array.fold_left max 0 (bottom_level g ~comm_factor:0)
+
+let has_path_impl g u v ~skip_direct =
+  if u = v then true
+  else begin
+    let rank = topological_rank g in
+    let target_rank = rank.(v) in
+    let visited = Hashtbl.create 16 in
+    let rec dfs x ~first =
+      if x = v then true
+      else if rank.(x) >= target_rank then false
+      else if Hashtbl.mem visited x then false
+      else begin
+        Hashtbl.add visited x ();
+        Array.exists
+          (fun y ->
+            if first && skip_direct && y = v then false
+            else dfs y ~first:false)
+          g.succ.(x)
+      end
+    in
+    dfs u ~first:true
+  end
+
+let has_path g u v = has_path_impl g u v ~skip_direct:false
+let has_alternative_path g u v = has_path_impl g u v ~skip_direct:true
+
+let induced_subgraph g nodes =
+  let nodes = List.sort_uniq compare nodes in
+  let keep = Array.make g.n (-1) in
+  let count = List.length nodes in
+  List.iteri (fun i v -> keep.(v) <- i) nodes;
+  let old_of_new = Array.of_list nodes in
+  let edges = ref [] in
+  iter_edges g (fun u v ->
+      if keep.(u) >= 0 && keep.(v) >= 0 then edges := (keep.(u), keep.(v)) :: !edges);
+  let work = Array.map (fun v -> g.work.(v)) old_of_new in
+  let comm = Array.map (fun v -> g.comm.(v)) old_of_new in
+  (of_edges_unchecked ~n:count ~edges:!edges ~work ~comm, old_of_new)
+
+let largest_weakly_connected_component g =
+  if g.n = 0 then (g, [||])
+  else begin
+    let comp = Array.make g.n (-1) in
+    let num_comps = ref 0 in
+    let stack = Stack.create () in
+    for v = 0 to g.n - 1 do
+      if comp.(v) < 0 then begin
+        let c = !num_comps in
+        incr num_comps;
+        Stack.push v stack;
+        comp.(v) <- c;
+        while not (Stack.is_empty stack) do
+          let x = Stack.pop stack in
+          let visit y =
+            if comp.(y) < 0 then begin
+              comp.(y) <- c;
+              Stack.push y stack
+            end
+          in
+          Array.iter visit g.succ.(x);
+          Array.iter visit g.pred.(x)
+        done
+      end
+    done;
+    let sizes = Array.make !num_comps 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+    let best = ref 0 in
+    Array.iteri (fun c s -> if s > sizes.(!best) then best := c) sizes;
+    let nodes = ref [] in
+    for v = g.n - 1 downto 0 do
+      if comp.(v) = !best then nodes := v :: !nodes
+    done;
+    induced_subgraph g !nodes
+  end
+
+let map_weights g ~work ~comm =
+  {
+    g with
+    work = Array.init g.n work;
+    comm = Array.init g.n comm;
+    topo = g.topo;
+    rank = g.rank;
+  }
+
+let assign_paper_weights g =
+  map_weights g
+    ~work:(fun v -> if in_degree g v = 0 then 1 else in_degree g v - 1)
+    ~comm:(fun _ -> 1)
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>dag: %d nodes, %d edges@," g.n (num_edges g);
+  for u = 0 to g.n - 1 do
+    Format.fprintf fmt "  %d (w=%d c=%d) -> %a@," u g.work.(u) g.comm.(u)
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+         Format.pp_print_int)
+      (Array.to_list g.succ.(u))
+  done;
+  Format.fprintf fmt "@]"

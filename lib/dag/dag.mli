@@ -1,0 +1,136 @@
+(** Computational DAGs.
+
+    A computational DAG [G(V, E)] models a workload: nodes are
+    operations, a directed edge [(u, v)] means [v] consumes the output of
+    [u] and therefore cannot start before [u] finishes (Section 3.1 of
+    the paper). Every node [v] carries two weights:
+
+    - the {e work weight} [w v]: time to execute the operation on a
+      processor, and
+    - the {e communication weight} [c v]: cost of shipping the output of
+      [v] to one other processor (e.g. its size in bytes).
+
+    Nodes are identified by dense integers [0 .. n-1]. The structure is
+    immutable once built. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : n:int -> edges:(int * int) list -> work:int array -> comm:int array -> t
+(** [of_edges ~n ~edges ~work ~comm] builds a DAG on [n] nodes.
+    Duplicate edges are collapsed. Raises [Invalid_argument] if an
+    endpoint is out of range, a self-loop is present, the weight arrays
+    do not have length [n], any weight is negative, or the edge set
+    contains a directed cycle. *)
+
+val of_edges_unchecked : n:int -> edges:(int * int) list -> work:int array -> comm:int array -> t
+(** Same as {!of_edges} but skips the acyclicity check (still collapses
+    duplicates and validates ranges). Useful when the caller constructed
+    the edges in topological order by design. *)
+
+(** {1 Basic accessors} *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val num_edges : t -> int
+
+val work : t -> int -> int
+(** [work g v] is [w v]. *)
+
+val comm : t -> int -> int
+(** [comm g v] is [c v]. *)
+
+val succ : t -> int -> int array
+(** Direct successors of a node. Do not mutate the returned array. *)
+
+val pred : t -> int -> int array
+(** Direct predecessors of a node. Do not mutate the returned array. *)
+
+val in_degree : t -> int -> int
+val out_degree : t -> int -> int
+
+val total_work : t -> int
+val total_comm : t -> int
+
+val sources : t -> int list
+(** Nodes with no predecessors, in increasing id order. *)
+
+val sinks : t -> int list
+(** Nodes with no successors, in increasing id order. *)
+
+val edges : t -> (int * int) list
+(** All edges, each exactly once. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val has_edge : t -> int -> int -> bool
+
+(** {1 Orders and levels} *)
+
+val topological_order : t -> int array
+(** A topological order of the nodes (Kahn's algorithm, smallest id
+    first, so the order is deterministic). *)
+
+val topological_rank : t -> int array
+(** [rank.(v)] is the position of [v] in {!topological_order}. *)
+
+val wavefronts : t -> int array
+(** [wavefronts g] assigns each node its earliest level: sources are
+    level 0 and [level v = 1 + max (level u)] over predecessors. This is
+    the wavefront decomposition used by HDagg-style schedulers. *)
+
+val num_wavefronts : t -> int
+
+val bottom_level : t -> comm_factor:int -> int array
+(** [bottom_level g ~comm_factor] is the classical bottom level used by
+    list schedulers: [bl v = w v] for sinks, and otherwise
+    [bl v = w v + max over successors u of (comm_factor * c v + bl u)].
+    With [comm_factor = 0] this is the plain critical-path length. *)
+
+val critical_path_work : t -> int
+(** Maximum total work along any directed path. *)
+
+(** {1 Structure queries} *)
+
+val has_path : t -> int -> int -> bool
+(** [has_path g u v] is [true] iff a directed path (possibly of length
+    zero, i.e. [u = v]) exists from [u] to [v]. Linear-time search pruned
+    by topological rank. *)
+
+val has_alternative_path : t -> int -> int -> bool
+(** [has_alternative_path g u v] is [true] iff a directed path from [u]
+    to [v] exists that does not use the edge [(u, v)] itself. An edge
+    [(u, v)] can be contracted without creating a cycle exactly when this
+    is [false] (Appendix A.5). *)
+
+val largest_weakly_connected_component : t -> t * int array
+(** Restrict the DAG to its largest weakly-connected (undirected)
+    component, as the paper does for extracted coarse-grained instances
+    (Appendix B.1). Returns the sub-DAG and the array mapping new node
+    ids to original ids. *)
+
+val induced_subgraph : t -> int list -> t * int array
+(** [induced_subgraph g nodes] keeps only [nodes] and the edges between
+    them. Returns the sub-DAG and the new-id -> old-id map. *)
+
+val map_weights : t -> work:(int -> int) -> comm:(int -> int) -> t
+(** Rebuild the DAG with new weights; [work v] and [comm v] receive the
+    node id. *)
+
+(** {1 Well-formedness} *)
+
+val is_acyclic_edges : n:int -> (int * int) list -> bool
+(** Check a raw edge list for acyclicity without building a DAG. *)
+
+val assign_paper_weights : t -> t
+(** Apply the weight rule of Appendix B: [w v = max 1 (indeg v - 1)]
+    for internal nodes with [indeg >= 1] (i.e. [indeg - 1], except that
+    single-input nodes keep weight 0 is avoided by the rule
+    [w = indeg - 1] with sources forced to 1); concretely
+    [w v = 1] if [v] is a source, [indeg v - 1] otherwise, and
+    [c v = 1] for every node. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: size summary plus adjacency. *)

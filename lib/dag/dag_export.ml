@@ -1,0 +1,42 @@
+let palette =
+  [| "#a6cee3"; "#b2df8a"; "#fb9a99"; "#fdbf6f"; "#cab2d6"; "#ffff99"; "#1f78b4"; "#33a02c" |]
+
+let dag_to_dot ?(name = "dag") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=TB;\n" name);
+  for v = 0 to Dag.n g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%d (w=%d, c=%d)\"];\n" v v (Dag.work g v)
+         (Dag.comm g v))
+  done;
+  Dag.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let schedule_to_dot ?(name = "schedule") g ~proc ~step =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=TB;\n" name);
+  let num_steps = 1 + Array.fold_left max (-1) step in
+  for s = 0 to num_steps - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  subgraph cluster_s%d {\n    label=\"superstep %d\";\n" s s);
+    for v = 0 to Dag.n g - 1 do
+      if step.(v) = s then begin
+        let colour = palette.(proc.(v) mod Array.length palette) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    n%d [label=\"%d@p%d\", style=filled, fillcolor=\"%s\"];\n" v v proc.(v)
+             colour)
+      end
+    done;
+    Buffer.add_string buf "  }\n"
+  done;
+  Dag.iter_edges g (fun u v ->
+      let style = if proc.(u) = proc.(v) then "" else " [style=dashed]" in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" u v style));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)

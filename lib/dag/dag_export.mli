@@ -1,0 +1,18 @@
+(** Graphviz export of computational DAGs and schedules.
+
+    Produces DOT text for visual inspection of instances and of where a
+    schedule placed each node. Schedules are rendered by colouring nodes
+    per processor and clustering them per superstep, which makes
+    communication structure (edges crossing cluster boundaries) visible
+    at a glance. *)
+
+val dag_to_dot : ?name:string -> Dag.t -> string
+(** Nodes are labelled ["v (w=..., c=...)"]. *)
+
+val schedule_to_dot :
+  ?name:string -> Dag.t -> proc:int array -> step:int array -> string
+(** Same graph with one subgraph cluster per superstep and a fill colour
+    per processor (cycling through a small palette). *)
+
+val write_file : string -> string -> unit
+(** [write_file path dot_text] — tiny convenience wrapper. *)

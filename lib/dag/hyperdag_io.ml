@@ -1,0 +1,106 @@
+let to_buffer buf g =
+  let n = Dag.n g in
+  Buffer.add_string buf "% hyperDAG: one hyperedge per non-sink node; first pin is the source\n";
+  let hyperedges = ref [] in
+  let num_pins = ref 0 in
+  for u = n - 1 downto 0 do
+    let s = Dag.succ g u in
+    if Array.length s > 0 then begin
+      hyperedges := (u, s) :: !hyperedges;
+      num_pins := !num_pins + 1 + Array.length s
+    end
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d\n" (List.length !hyperedges) n !num_pins);
+  List.iteri
+    (fun e (u, s) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" e u);
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" e v)) s)
+    !hyperedges;
+  for v = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d %d %d\n" v (Dag.work g v) (Dag.comm g v))
+  done
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  to_buffer buf g;
+  Buffer.contents buf
+
+let write oc g = output_string oc (to_string g)
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc g)
+
+(* Parsing: split the whole input into significant lines first, then
+   consume counts. *)
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '%')
+  in
+  let parse_ints line =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some i -> i
+           | None -> failwith ("Hyperdag_io: not an integer: " ^ s))
+  in
+  match lines with
+  | [] -> failwith "Hyperdag_io: empty input"
+  | header :: rest ->
+    let num_h, num_n, num_p =
+      match parse_ints header with
+      | [ h; n; p ] -> (h, n, p)
+      | _ -> failwith "Hyperdag_io: header must be <hyperedges> <nodes> <pins>"
+    in
+    if List.length rest < num_p + num_n then failwith "Hyperdag_io: truncated file";
+    let pins, weight_lines =
+      let rec split i acc = function
+        | rest when i = num_p -> (List.rev acc, rest)
+        | [] -> failwith "Hyperdag_io: truncated pin section"
+        | l :: tl -> split (i + 1) (l :: acc) tl
+      in
+      split 0 [] rest
+    in
+    let edge_source = Array.make num_h (-1) in
+    let edges = ref [] in
+    List.iter
+      (fun line ->
+        match parse_ints line with
+        | [ e; v ] ->
+          if e < 0 || e >= num_h then failwith "Hyperdag_io: hyperedge id out of range";
+          if v < 0 || v >= num_n then failwith "Hyperdag_io: node id out of range";
+          if edge_source.(e) < 0 then edge_source.(e) <- v
+          else edges := (edge_source.(e), v) :: !edges
+        | _ -> failwith "Hyperdag_io: pin line must be <hyperedge> <node>")
+      pins;
+    let work = Array.make num_n 1 in
+    let comm = Array.make num_n 1 in
+    List.iteri
+      (fun i line ->
+        if i < num_n then
+          match parse_ints line with
+          | [ v; w; c ] ->
+            if v < 0 || v >= num_n then failwith "Hyperdag_io: weight node id out of range";
+            work.(v) <- w;
+            comm.(v) <- c
+          | _ -> failwith "Hyperdag_io: weight line must be <node> <work> <comm>")
+      weight_lines;
+    (try Dag.of_edges ~n:num_n ~edges:!edges ~work ~comm
+     with Invalid_argument msg -> failwith ("Hyperdag_io: " ^ msg))
+
+let read ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  of_string (Buffer.contents buf)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

@@ -1,0 +1,38 @@
+(** HyperDAG file format.
+
+    The paper's DAG database (Section 5, Appendix B) stores instances in
+    a hypergraph format: each non-sink node [v] induces one hyperedge
+    containing [v] and all its direct successors, which emphasises that
+    the output of [v] needs to be sent to another processor at most once
+    regardless of how many successors live there. The textual format
+    implemented here follows the HyperDAG_DB convention:
+
+    {v
+    % comment lines (any number, anywhere before the header)
+    <num_hyperedges> <num_nodes> <num_pins>
+    <hyperedge_id> <node_id>          (one line per pin)
+    ...
+    <node_id> <work_weight> <comm_weight>   (one line per node)
+    ...
+    v}
+
+    The first pin listed for a hyperedge is its source node; the
+    remaining pins are the source's direct successors. Conversion back to
+    a DAG simply adds an edge from the source of every hyperedge to each
+    of its other pins, as all our algorithms operate on plain DAGs
+    (Appendix B). *)
+
+val write : out_channel -> Dag.t -> unit
+(** Serialise a DAG in hyperDAG format. One hyperedge per node with at
+    least one successor. *)
+
+val write_file : string -> Dag.t -> unit
+
+val read : in_channel -> Dag.t
+(** Parse a hyperDAG file; raises [Failure] with a descriptive message on
+    malformed input (bad counts, out-of-range pins, cyclic structure). *)
+
+val read_file : string -> Dag.t
+
+val to_string : Dag.t -> string
+val of_string : string -> Dag.t

@@ -1,0 +1,154 @@
+type algorithm = Cg_coarse | Bicgstab | Pagerank | Label_propagation | Knn_coarse
+
+let algorithm_name = function
+  | Cg_coarse -> "cg-coarse"
+  | Bicgstab -> "bicgstab"
+  | Pagerank -> "pagerank"
+  | Label_propagation -> "labelprop"
+  | Knn_coarse -> "knn-coarse"
+
+let all_algorithms = [ Cg_coarse; Bicgstab; Pagerank; Label_propagation; Knn_coarse ]
+
+let fresh b = Dag_builder.add_node b ~work:1 ~comm:1
+
+let op b preds =
+  let v = fresh b in
+  List.iter (fun u -> Dag_builder.add_edge b u v) preds;
+  v
+
+let finish b = Dag.assign_paper_weights (Dag_builder.finish b)
+
+(* Conjugate gradient, one container-level op per line:
+     q     = A * p
+     d     = <p, q>
+     alpha = rr / d
+     x     = x + alpha * p
+     r     = r - alpha * q
+     rr'   = <r, r>
+     beta  = rr' / rr
+     p     = r + beta * p                      (8 ops / iteration) *)
+let cg_iterations b ~iterations =
+  let a = fresh b in
+  let bvec = fresh b in
+  let x0 = fresh b in
+  let r = ref bvec and p = ref bvec and x = ref x0 in
+  let rr = ref (op b [ bvec ]) in
+  for _ = 1 to iterations do
+    let q = op b [ a; !p ] in
+    let d = op b [ !p; q ] in
+    let alpha = op b [ !rr; d ] in
+    let x' = op b [ !x; alpha; !p ] in
+    let r' = op b [ !r; alpha; q ] in
+    let rr' = op b [ r' ] in
+    let beta = op b [ rr'; !rr ] in
+    let p' = op b [ r'; beta; !p ] in
+    x := x';
+    r := r';
+    p := p';
+    rr := rr'
+  done
+
+(* BiCGStab per van der Vorst; roughly twice the ops of CG per
+   iteration (two matrix products, two dots plus stabilisation):
+     rho   = <r0hat, r>
+     beta  = (rho/rho_old) * (alpha/omega)
+     p     = r + beta * (p - omega * v)        (two ops: inner, outer)
+     v     = A * p
+     sigma = <r0hat, v>
+     alpha = rho / sigma
+     s     = r - alpha * v
+     t     = A * s
+     tt    = <t, t>
+     ts    = <t, s>
+     omega = ts / tt
+     x     = x + alpha * p + omega * s         (two ops)
+     r     = s - omega * t                     (16 ops / iteration) *)
+let bicgstab_iterations b ~iterations =
+  let a = fresh b in
+  let bvec = fresh b in
+  let x0 = fresh b in
+  let r = ref bvec and p = ref bvec and x = ref x0 in
+  let r0hat = bvec in
+  let rho = ref (op b [ r0hat; bvec ]) in
+  let alpha = ref (op b [ bvec ]) in
+  let omega = ref (op b [ bvec ]) in
+  let v = ref (op b [ a; bvec ]) in
+  for _ = 1 to iterations do
+    let rho' = op b [ r0hat; !r ] in
+    let beta = op b [ rho'; !rho; !alpha; !omega ] in
+    let p_inner = op b [ !p; !omega; !v ] in
+    let p' = op b [ !r; beta; p_inner ] in
+    let v' = op b [ a; p' ] in
+    let sigma = op b [ r0hat; v' ] in
+    let alpha' = op b [ rho'; sigma ] in
+    let s = op b [ !r; alpha'; v' ] in
+    let t = op b [ a; s ] in
+    let tt = op b [ t ] in
+    let ts = op b [ t; s ] in
+    let omega' = op b [ ts; tt ] in
+    let x_inner = op b [ !x; alpha'; p' ] in
+    let x' = op b [ x_inner; omega'; s ] in
+    let r' = op b [ s; omega'; t ] in
+    rho := rho';
+    alpha := alpha';
+    omega := omega';
+    v := v';
+    p := p';
+    x := x';
+    r := r'
+  done
+
+(* PageRank power iteration:
+     y = A^T * x ; z = damping * y ; x = z + teleport   (3 ops) *)
+let pagerank_iterations b ~iterations =
+  let a = fresh b in
+  let teleport = fresh b in
+  let x = ref (fresh b) in
+  for _ = 1 to iterations do
+    let y = op b [ a; !x ] in
+    let z = op b [ y ] in
+    x := op b [ z; teleport ]
+  done
+
+(* Label propagation:
+     z = A * x ; x = select-max(z, x)                   (2 ops) *)
+let labelprop_iterations b ~iterations =
+  let a = fresh b in
+  let x = ref (fresh b) in
+  for _ = 1 to iterations do
+    let z = op b [ a; !x ] in
+    x := op b [ z; !x ]
+  done
+
+(* k-hop reachability:
+     y = A * u ; u = y or u                             (2 ops) *)
+let knn_iterations b ~iterations =
+  let a = fresh b in
+  let u = ref (fresh b) in
+  for _ = 1 to iterations do
+    let y = op b [ a; !u ] in
+    u := op b [ y; !u ]
+  done
+
+let nodes_per_iteration = function
+  | Cg_coarse -> 8
+  | Bicgstab -> 16
+  | Pagerank -> 3
+  | Label_propagation -> 2
+  | Knn_coarse -> 2
+
+let generate algorithm ~iterations =
+  if iterations < 1 then invalid_arg "Coarsegrained.generate: iterations must be >= 1";
+  let b = Dag_builder.create () in
+  (match algorithm with
+   | Cg_coarse -> cg_iterations b ~iterations
+   | Bicgstab -> bicgstab_iterations b ~iterations
+   | Pagerank -> pagerank_iterations b ~iterations
+   | Label_propagation -> labelprop_iterations b ~iterations
+   | Knn_coarse -> knn_iterations b ~iterations);
+  finish b
+
+let generate_sized algorithm ~target =
+  let per = nodes_per_iteration algorithm in
+  let iterations = max 1 ((target - 4) / per) in
+  generate algorithm ~iterations

@@ -1,0 +1,219 @@
+(* All generators build the structure with placeholder weights and apply
+   the paper's weight rule (sources 1 / indeg - 1, comm 1) at the end. *)
+
+let fresh b = Dag_builder.add_node b ~work:1 ~comm:1
+
+(* Shared source nodes for the nonzero entries of A, allocated on first
+   use so iterated products reuse the same matrix inputs. *)
+type matrix_sources = { b : Dag_builder.t; tbl : (int * int, int) Hashtbl.t }
+
+let matrix_sources b = { b; tbl = Hashtbl.create 256 }
+
+let a_node ms i j =
+  match Hashtbl.find_opt ms.tbl (i, j) with
+  | Some id -> id
+  | None ->
+    let id = fresh ms.b in
+    Hashtbl.add ms.tbl (i, j) id;
+    id
+
+(* One spmv layer: multiply nodes m_ij = a_ij * u_j for every nonzero
+   whose input component exists, then a row-sum node per non-empty row.
+   [extra i] lists additional predecessors folded into row i's sum (used
+   by knn to accumulate the previous frontier). *)
+let spmv_layer b ms a ~u ~extra =
+  let n = Sparse_matrix.n a in
+  let y = Array.make n None in
+  for i = 0 to n - 1 do
+    let ms_row =
+      Array.to_list (Sparse_matrix.row a i)
+      |> List.filter_map (fun j ->
+             match u.(j) with
+             | None -> None
+             | Some uj ->
+               let m = fresh b in
+               Dag_builder.add_edge b (a_node ms i j) m;
+               Dag_builder.add_edge b uj m;
+               Some m)
+    in
+    let inputs = ms_row @ extra i in
+    if inputs <> [] then begin
+      let yi = fresh b in
+      List.iter (fun m -> Dag_builder.add_edge b m yi) inputs;
+      y.(i) <- Some yi
+    end
+  done;
+  y
+
+let no_extra _ = []
+
+let dense_vector b n = Array.init n (fun _ -> Some (fresh b))
+
+let finish b = Dag.assign_paper_weights (Dag_builder.finish b)
+
+let spmv a =
+  let b = Dag_builder.create () in
+  let ms = matrix_sources b in
+  let u = dense_vector b (Sparse_matrix.n a) in
+  let (_ : int option array) = spmv_layer b ms a ~u ~extra:no_extra in
+  finish b
+
+let exp a ~k =
+  if k < 1 then invalid_arg "Finegrained.exp: k must be >= 1";
+  let b = Dag_builder.create () in
+  let ms = matrix_sources b in
+  let u = ref (dense_vector b (Sparse_matrix.n a)) in
+  for _ = 1 to k do
+    u := spmv_layer b ms a ~u:!u ~extra:no_extra
+  done;
+  finish b
+
+(* A reduction node whose predecessors are all components of the given
+   vectors (deduplicated): a dot product computed as one fine-grained
+   combine of its 2N scalar inputs. *)
+let dot b vecs =
+  let d = fresh b in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (Array.iter (function
+      | None -> ()
+      | Some x ->
+        if not (Hashtbl.mem seen x) then begin
+          Hashtbl.add seen x ();
+          Dag_builder.add_edge b x d
+        end))
+    vecs;
+  d
+
+let combine b preds =
+  let v = fresh b in
+  List.iter (fun u -> Dag_builder.add_edge b u v) preds;
+  v
+
+let cg a ~k =
+  if k < 1 then invalid_arg "Finegrained.cg: k must be >= 1";
+  let n = Sparse_matrix.n a in
+  let b = Dag_builder.create () in
+  let ms = matrix_sources b in
+  (* x_0 = 0, r_0 = b, p_0 = r_0. *)
+  let r = ref (dense_vector b n) in
+  let p = ref !r in
+  let x = ref (Array.make n None) in
+  let rr = ref (dot b [ !r ]) in
+  for _ = 1 to k do
+    let q = spmv_layer b ms a ~u:!p ~extra:no_extra in
+    let d = dot b [ !p; q ] in
+    let alpha = combine b [ !rr; d ] in
+    let axpy base scale other =
+      Array.init n (fun i ->
+          match other.(i) with
+          | None -> base.(i)
+          | Some oi ->
+            let preds =
+              match base.(i) with
+              | None -> [ scale; oi ]
+              | Some bi -> [ bi; scale; oi ]
+            in
+            Some (combine b preds))
+    in
+    let x' = axpy !x alpha !p in
+    let r' = axpy !r alpha q in
+    let rr' = dot b [ r' ] in
+    let beta = combine b [ rr'; !rr ] in
+    let p' = axpy r' beta !p in
+    x := x';
+    r := r';
+    p := p';
+    rr := rr'
+  done;
+  finish b
+
+let knn rng a ~k =
+  if k < 1 then invalid_arg "Finegrained.knn: k must be >= 1";
+  let n = Sparse_matrix.n a in
+  let b = Dag_builder.create () in
+  let ms = matrix_sources b in
+  let u = Array.make n None in
+  u.(Rng.int rng n) <- Some (fresh b);
+  let cur = ref u in
+  for _ = 1 to k do
+    let prev = !cur in
+    let extra i = match prev.(i) with None -> [] | Some x -> [ x ] in
+    cur := spmv_layer b ms a ~u:prev ~extra
+  done;
+  finish b
+
+type family = Spmv | Exp | Cg | Knn
+
+let family_name = function
+  | Spmv -> "spmv"
+  | Exp -> "exp"
+  | Cg -> "cg"
+  | Knn -> "knn"
+
+type shape = Wide | Deep
+
+(* Iterations per shape: wide DAGs use few spmv layers over a larger
+   matrix, deep ones chain many layers over a smaller matrix. The counts
+   grow slowly with the target so deep instances stay proportionally
+   deeper at every dataset size. *)
+let iterations family shape target =
+  let base =
+    match shape with
+    | Wide -> 2
+    | Deep -> max 6 (int_of_float (2.5 *. log (float_of_int (max 10 target))))
+  in
+  match family with
+  | Spmv -> 1
+  | Cg -> max 1 (base / 2)
+  | Exp -> base
+  | Knn ->
+    (* The frontier multiplies by the average column fill (~3) per hop,
+       so the hop count must grow with the target or the DAG size
+       saturates far below it, regardless of the matrix dimension. *)
+    max base (1 + int_of_float (log (float_of_int target) /. log 3.0))
+
+let generate_once rng family ~k ~matrix_n ~q =
+  match family with
+  | Spmv -> spmv (Sparse_matrix.random rng ~n:matrix_n ~q)
+  | Exp -> exp (Sparse_matrix.random rng ~n:matrix_n ~q) ~k
+  | Cg -> cg (Sparse_matrix.random_symmetric rng ~n:matrix_n ~q) ~k
+  | Knn -> knn rng (Sparse_matrix.random rng ~n:matrix_n ~q) ~k
+
+let generate_sized rng ~family ~shape ~target =
+  if target < 10 then invalid_arg "Finegrained.generate_sized: target too small";
+  let k = iterations family shape target in
+  (* Aim for ~3 nonzeros per row; search the matrix dimension by scaling
+     towards the target, keeping the closest attempt. *)
+  let avg_nnz_per_row = 3.0 in
+  let matrix_n = ref (max 4 (target / (8 * k))) in
+  let best = ref None in
+  let attempts = ref 0 in
+  let continue = ref true in
+  while !continue && !attempts < 12 do
+    incr attempts;
+    let nf = float_of_int !matrix_n in
+    let q = Float.min 1.0 (avg_nnz_per_row /. nf) in
+    let trial_rng = Rng.copy rng in
+    let dag = generate_once trial_rng family ~k ~matrix_n:!matrix_n ~q in
+    let size = Dag.n dag in
+    (match !best with
+     | Some (_, best_size) when abs (best_size - target) <= abs (size - target) -> ()
+     | _ -> best := Some (dag, size));
+    let err = float_of_int size /. float_of_int target in
+    if err > 0.92 && err < 1.08 then continue := false
+    else begin
+      let scaled = float_of_int !matrix_n /. err in
+      let next = int_of_float scaled in
+      let next = if next = !matrix_n then if err > 1.0 then next - 1 else next + 1 else next in
+      (* Clamp the per-step growth and the absolute dimension: some
+         families (knn) respond only weakly to the matrix dimension and
+         an unclamped correction would explode it. *)
+      let next = min next (4 * !matrix_n) in
+      let next = min next (max 64 (2 * target)) in
+      matrix_n := max 4 next
+    end
+  done;
+  match !best with
+  | Some (dag, _) -> dag
+  | None -> assert false

@@ -1,0 +1,57 @@
+(** Fine-grained computational DAG generators (Appendix B.2).
+
+    In the fine-grained representation every nonzero scalar entry of a
+    matrix or vector is the output of a separate DAG node. These
+    generators synthesise the computational DAG of four concrete
+    algebraic computations over a random sparse matrix [A]:
+
+    - {!spmv}: one sparse matrix - dense vector multiplication [y = A u],
+    - {!exp}: the iterated product [A^k u] as [k] chained spmv layers,
+    - {!cg}: [k] iterations of the conjugate gradient method,
+    - {!knn}: [k] hops of algebraic reachability from a single seed
+      vertex (sparse matrix times sparse vector, accumulated).
+
+    Node weights follow the paper's rule (Appendix B.2): sources have
+    work weight 1, every other node has work weight [indeg - 1] (adding
+    four scalars costs three additions), and all communication weights
+    are 1. *)
+
+val spmv : Sparse_matrix.t -> Dag.t
+(** DAG of [y = A u]: sources are the [a_ij] entries and the dense [u_j]
+    entries; one multiply node per nonzero; one row-sum node per row
+    (Figure 2 of the paper). *)
+
+val exp : Sparse_matrix.t -> k:int -> Dag.t
+(** DAG of the naive computation of [A^k u] by [k] successive spmv
+    layers; the [a_ij] source nodes are shared by all layers. *)
+
+val cg : Sparse_matrix.t -> k:int -> Dag.t
+(** DAG of [k] conjugate gradient iterations on the system [A x = b]
+    starting from [x_0 = 0]. Dot products are single reduction nodes
+    whose inputs are all components of the participating vectors. *)
+
+val knn : Rng.t -> Sparse_matrix.t -> k:int -> Dag.t
+(** DAG of [k]-hop reachability: [u] starts with a single random nonzero
+    entry, each hop computes the sparse product [A u] restricted to the
+    live entries and accumulates the previous frontier (i.e. effectively
+    [(A + I) u]). *)
+
+(** {1 Sized generation}
+
+    The datasets of Appendix B.3 require fine-grained DAGs whose node
+    counts land in prescribed intervals, with "wider" (few iterations,
+    large matrix) and "deeper" (many iterations, smaller matrix)
+    variants. [generate_sized] searches the matrix dimension so that the
+    generated DAG's size approximates [target] nodes. *)
+
+type family = Spmv | Exp | Cg | Knn
+
+val family_name : family -> string
+
+type shape = Wide | Deep
+
+val generate_sized :
+  Rng.t -> family:family -> shape:shape -> target:int -> Dag.t
+(** Generate an instance of roughly [target] nodes (typically within a
+    few percent; exact matching is neither needed nor attempted). The
+    density is fixed at a few nonzeros per row, as in sparse workloads. *)

@@ -1,0 +1,23 @@
+(** The BSPg greedy initialisation heuristic (Section 4.2, Algorithm 1).
+
+    BSPg develops a BSP schedule directly, superstep by superstep, while
+    still tracking concrete start/finish times inside each computation
+    phase to balance work across processors. Within the current
+    superstep a processor [p] may only be assigned a node whose
+    predecessors are all already available on [p] — computed on [p], or
+    in an earlier superstep. Nodes that become ready with predecessors
+    on several processors of the current superstep go to a global
+    [ready_all] pool that opens up in the next superstep.
+
+    When a processor frees up it receives a node from its private ready
+    set, falling back to [ready_all]; ties are broken by the ChooseNode
+    score: the sum over predecessors [u] (with [u] or one of [u]'s direct
+    successors already on [p]) of [c u / outdeg u] — an estimate of the
+    communication the assignment may save in the future. Once at least
+    half of the processors are idle and the global pool is empty, the
+    computation phase closes and a new superstep begins.
+
+    The output is the assignment [(pi, tau)] completed with the lazy
+    communication schedule. *)
+
+val schedule : Machine.t -> Dag.t -> Schedule.t

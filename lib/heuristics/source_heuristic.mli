@@ -1,0 +1,21 @@
+(** The Source initialisation heuristic (Section 4.2, Algorithm 2).
+
+    Source peels the DAG layer by layer: each superstep consists of the
+    current source nodes (unassigned nodes all of whose predecessors are
+    assigned), which are then removed to expose the next layer.
+
+    The first superstep clusters the original sources — two sources
+    sharing a direct successor join the same cluster — and deals whole
+    clusters to processors round-robin, so that sibling inputs co-locate.
+    Every later superstep sorts its sources by decreasing work weight and
+    deals them round-robin, balancing the work cost of the computation
+    phase. Finally, each superstep absorbs those direct successors of its
+    sources whose predecessors all sit on one processor, avoiding a
+    pointless extra superstep (the absorbed node joins that processor in
+    the same superstep, which is valid because the edges stay
+    processor-local).
+
+    The round-robin pointer persists across supersteps. Output is the
+    assignment plus the lazy communication schedule. *)
+
+val schedule : Machine.t -> Dag.t -> Schedule.t

@@ -1,0 +1,44 @@
+(** Branch-and-bound solver for 0/1 mixed integer programs.
+
+    The scheduling pipeline uses the ILP solver the way the paper uses
+    CBC: hand it a (sub)problem together with the objective value of the
+    current schedule, give it a budget, and take a strictly better
+    feasible solution if one is found (Section 6). Accordingly {!solve}
+    takes a [cutoff]: only solutions with objective strictly below it are
+    recorded, and the cutoff doubles as the initial pruning bound — the
+    warm start the paper feeds CBC.
+
+    The search is depth-first diving: at each node the LP relaxation is
+    solved with the branching decisions clamped; nodes whose bound
+    reaches the incumbent are pruned; the most fractional binary is
+    branched on, exploring the rounded side first so integral leaves (and
+    hence incumbents) appear early. If the LP solver hits its pivot
+    limit the node is explored without a bound and the final result is
+    not marked proven optimal. *)
+
+type outcome = {
+  solution : float array option;
+      (** best assignment strictly better than [cutoff], if any; binaries
+          are exactly 0.0 or 1.0 *)
+  objective : float;  (** its objective, or [cutoff] when none was found *)
+  proven_optimal : bool;
+      (** the tree was exhausted with sound bounds everywhere *)
+  nodes_explored : int;
+  lp_failures : int;  (** LP iteration-limit events *)
+}
+
+val solve :
+  ?budget:Budget.t ->
+  ?cutoff:float ->
+  ?max_nodes:int ->
+  ?max_pivots:int ->
+  Ilp.t ->
+  outcome
+(** [budget] is ticked once per node; [max_nodes] (default 20000) is a
+    hard cap independent of the budget; [max_pivots] bounds each LP
+    solve. *)
+
+val solve_exhaustive : Ilp.t -> outcome
+(** Enumerate all assignments of the binaries, solving an LP for the
+    continuous variables under each; exact but exponential — for tests
+    and cross-checks on tiny models only. *)

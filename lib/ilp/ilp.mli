@@ -1,0 +1,49 @@
+(** Mixed 0/1 integer linear program models.
+
+    A thin model builder shared by the four scheduling formulations of
+    Section 4.4 (ILPfull, ILPpart, ILPinit, ILPcs). Variables are either
+    binary or continuous with bounds; constraints are sparse linear rows;
+    the objective is always minimised. Solving happens in
+    {!Branch_bound}. *)
+
+type t
+
+type var = int
+(** Dense variable index. *)
+
+val create : unit -> t
+
+val binary : t -> string -> var
+(** A 0/1 variable. The name is kept for diagnostics only. *)
+
+val continuous : t -> ?lb:float -> ?ub:float -> string -> var
+(** A continuous variable, by default in [[0, infinity)]. *)
+
+val num_vars : t -> int
+val num_binaries : t -> int
+val num_constraints : t -> int
+val var_name : t -> var -> string
+val is_binary : t -> var -> bool
+
+val add_le : t -> (var * float) list -> float -> unit
+(** [add_le m coeffs b] adds [sum coeffs <= b]. *)
+
+val add_ge : t -> (var * float) list -> float -> unit
+val add_eq : t -> (var * float) list -> float -> unit
+
+val set_objective : t -> (var * float) list -> unit
+(** Minimisation objective (sparse; later calls replace earlier ones). *)
+
+val objective_value : t -> float array -> float
+val constraints_satisfied : ?tol:float -> t -> float array -> bool
+(** Check a full assignment against all rows and bounds. *)
+
+(** {1 Solver access} *)
+
+val lp_relaxation :
+  ?max_pivots:int ->
+  ?fix:(var * float) list ->
+  t ->
+  Simplex.result
+(** Solve the LP relaxation (binaries relaxed to [[0, 1]]), with the
+    bounds of the variables in [fix] clamped to the given values. *)

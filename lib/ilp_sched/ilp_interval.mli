@@ -1,0 +1,69 @@
+(** The interval ILP engine behind ILPfull, ILPpart and ILPinit
+    (Section 4.4, Appendix A.4).
+
+    All three formulations reassign a set of nodes [V0] within a window
+    of supersteps [[s_lo, s_hi]] while the rest of the schedule stays
+    fixed; they differ only in how [V0] and the window are chosen and in
+    what surrounds them:
+
+    - {b ILPfull}: [V0] = all nodes, window = all supersteps — the FS
+      formulation of Papp et al. (arXiv:2303.05989) with the paper's two
+      tweaks (aggregated availability constraints; no separate PRES
+      variables).
+    - {b ILPpart}: [V0] = nodes of a superstep interval of an existing
+      schedule; boundary conditions link to the fixed prefix and suffix.
+    - {b ILPinit}: [V0] = the next batch of a topological order; nodes
+      after the batch are not assigned yet and are simply disregarded.
+
+    Variables: binary [COMP(v,p,s)] for [v ∈ V0]; binary
+    [COMM(v,p1,p2,s)] carrying the value of [v ∈ V0] from [p1] to [p2]
+    in phase [s] (relays allowed); binary [PRE(u,p,s)] sending a fixed
+    pre-window predecessor [u] directly from its processor; continuous
+    [W(s)], [H(s)] for the per-superstep work and h-relation maxima. The
+    objective is [sum (W s + g * H s)] over the window plus [g * H] of
+    the boundary phase [s_lo - 1]; latency is a constant outside the
+    model.
+
+    Boundary handling follows the paper's three variable-saving
+    restrictions (Appendix A.4): values already delivered before the
+    window are treated as present; newly required deliveries to
+    post-window consumers must complete within the window
+    (present-by-end constraints); and pass-through traffic of fixed
+    nodes whose phase falls inside the window enters the h-relation rows
+    as constants.
+
+    Extraction keeps only the assignment [(pi, tau)] of [V0] — the
+    communication schedule is re-derived lazily by the caller and later
+    re-optimised by HCcs/ILPcs, which keeps extraction simple and the
+    final schedule valid by construction (cross-processor edges always
+    land in strictly later supersteps in any feasible model solution). *)
+
+type spec = {
+  dag : Dag.t;
+  machine : Machine.t;
+  proc : int array;  (** current assignment; [-1] = not yet assigned *)
+  step : int array;
+  v0 : int list;  (** nodes to (re)assign; must be exactly the nodes with
+                      [step] in the window, for already-assigned nodes *)
+  s_lo : int;
+  s_hi : int;
+}
+
+val estimate_vars : spec -> int
+(** The paper's [|V0| * |S0| * P^2] estimate used to size intervals. *)
+
+type built
+
+val build : spec -> Ilp.t * built
+(** Construct the model. Raises [Invalid_argument] on malformed specs
+    (window empty, assigned [v0] node outside the window, predecessor of
+    a [v0] node unassigned). *)
+
+val current_scope_cost : spec -> int
+(** Objective value of the current schedule restricted to the window
+    (work + weighted communication of phases [s_lo - 1 .. s_hi], with
+    lazy communication), used as the warm-start cutoff. *)
+
+val extract : built -> float array -> (int * int * int) list
+(** [(node, proc, step)] updates for the nodes of [V0] from a feasible
+    model solution. *)

@@ -1,0 +1,100 @@
+type config = {
+  initial_temperature : float;
+  cooling : float;
+  sweeps : int;
+  seed : int;
+}
+
+let default_config initial_cost =
+  {
+    initial_temperature = Float.max 1.0 (0.02 *. float_of_int initial_cost);
+    cooling = 0.9;
+    sweeps = 30;
+    seed = 1;
+  }
+
+type stats = {
+  moves_accepted : int;
+  moves_rejected : int;
+  uphill_accepted : int;
+  initial_cost : int;
+  final_cost : int;
+}
+
+let improve ?(budget = Budget.unlimited) ?config machine sched =
+  let dag = sched.Schedule.dag in
+  let n = Dag.n dag in
+  let initial = Schedule.with_lazy_comm sched in
+  let initial_cost = Bsp_cost.total machine initial in
+  let config = match config with Some c -> c | None -> default_config initial_cost in
+  if n = 0 || Schedule.num_supersteps sched = 0 || config.sweeps <= 0 then
+    ( initial,
+      {
+        moves_accepted = 0;
+        moves_rejected = 0;
+        uphill_accepted = 0;
+        initial_cost;
+        final_cost = initial_cost;
+      } )
+  else begin
+    let st = Assignment_state.init machine initial in
+    let p = machine.Machine.p in
+    let rng = Rng.create config.seed in
+    let accepted = ref 0 and rejected = ref 0 and uphill = ref 0 in
+    let best_proc, best_step = Assignment_state.assignment st in
+    let best_cost = ref (Assignment_state.total_cost st) in
+    let record_if_best () =
+      let c = Assignment_state.total_cost st in
+      if c < !best_cost then begin
+        best_cost := c;
+        let proc, step = Assignment_state.assignment st in
+        Array.blit proc 0 best_proc 0 n;
+        Array.blit step 0 best_step 0 n
+      end
+    in
+    let temperature = ref config.initial_temperature in
+    let sweep = ref 0 in
+    while !sweep < config.sweeps && not (Budget.exhausted budget) do
+      for v = 0 to n - 1 do
+        if Budget.tick budget then begin
+          (* One random candidate per node per sweep. *)
+          let s1 = Assignment_state.step st v in
+          let p2 = Rng.int rng p in
+          let s2 = s1 + Rng.int rng 3 - 1 in
+          if
+            (not (p2 = Assignment_state.proc st v && s2 = s1))
+            && Assignment_state.valid_move st v p2 s2
+          then begin
+            let p1 = Assignment_state.proc st v in
+            let before = Assignment_state.total_cost st in
+            Assignment_state.apply_move st v p2 s2;
+            let delta = Assignment_state.total_cost st - before in
+            let accept =
+              delta <= 0
+              || Rng.float rng 1.0 < Stdlib.exp (-.float_of_int delta /. !temperature)
+            in
+            if accept then begin
+              incr accepted;
+              if delta > 0 then incr uphill;
+              record_if_best ()
+            end
+            else begin
+              incr rejected;
+              Assignment_state.apply_move st v p1 s1
+            end
+          end
+        end
+      done;
+      temperature := Float.max 1e-3 (!temperature *. config.cooling);
+      incr sweep
+    done;
+    let result = Schedule.of_assignment dag ~proc:best_proc ~step:best_step in
+    ( result,
+      {
+        moves_accepted = !accepted;
+        moves_rejected = !rejected;
+        uphill_accepted = !uphill;
+        initial_cost;
+        final_cost = Bsp_cost.total machine result;
+      } )
+  end

@@ -1,0 +1,43 @@
+(** Simulated-annealing local search over the assignment.
+
+    The paper's hill climber stops at the first local minimum; its
+    Section 8 lists "more complex local search techniques that also
+    attempt to escape local minima" as a natural extension. This module
+    implements that extension: the same single-node move neighbourhood
+    as {!Hc} (any processor, superstep within +-1), but moves that
+    increase the cost by [delta] are accepted with probability
+    [exp (-delta / T)] under a geometrically cooling temperature [T].
+
+    The incremental cost machinery is shared with HC through the same
+    state representation (lazy communication schedule, {!Cost_table});
+    the best assignment ever visited is tracked and returned, so the
+    result never regresses below the plain hill-climbing baseline when
+    started from its output. *)
+
+type config = {
+  initial_temperature : float;
+      (** starting T; a good default is a few percent of the initial
+          cost divided by the node count *)
+  cooling : float;  (** multiplicative factor per sweep, in (0, 1) *)
+  sweeps : int;  (** number of full passes over the nodes *)
+  seed : int;  (** acceptance randomness *)
+}
+
+val default_config : int -> config
+(** [default_config initial_cost] scales the temperature to the
+    instance. *)
+
+type stats = {
+  moves_accepted : int;
+  moves_rejected : int;
+  uphill_accepted : int;
+  initial_cost : int;
+  final_cost : int;  (** cost of the best visited schedule *)
+}
+
+val improve :
+  ?budget:Budget.t -> ?config:config -> Machine.t -> Schedule.t -> Schedule.t * stats
+(** Anneal from the given schedule. The input's communication schedule
+    is replaced by the lazy one, as in {!Hc}. The returned schedule is
+    the cheapest assignment encountered (with lazy communication) and is
+    always valid. *)

@@ -1,0 +1,130 @@
+type t = {
+  dag : Dag.t;
+  machine_ : Machine.t;
+  p : int;
+  num_steps_ : int;
+  proc_ : int array;
+  step_ : int array;
+  table : Cost_table.t;
+  (* first_need.(u * p + q): earliest superstep in which processor q
+     needs the value of u (min step over successors of u assigned to q);
+     max_int when q has no successor of u. Entries exist for every q
+     including proc.(u); only q <> proc.(u) induce lazy communication
+     events, pinned to phase first_need - 1. *)
+  first_need : int array;
+}
+
+let no_need = max_int
+
+let machine t = t.machine_
+let num_steps t = t.num_steps_
+let proc t v = t.proc_.(v)
+let step t v = t.step_.(v)
+let total_cost t = Cost_table.total t.table
+
+let recompute_first_need st u =
+  let base = u * st.p in
+  for q = 0 to st.p - 1 do
+    st.first_need.(base + q) <- no_need
+  done;
+  Array.iter
+    (fun v ->
+      let idx = base + st.proc_.(v) in
+      if st.step_.(v) < st.first_need.(idx) then st.first_need.(idx) <- st.step_.(v))
+    (Dag.succ st.dag u)
+
+(* Add (sign = +1) or remove (sign = -1) the lazy communication event of
+   producer u towards destination q, if any. *)
+let source_comm_one st u q sign =
+  let src = st.proc_.(u) in
+  if q <> src then begin
+    let fn = st.first_need.((u * st.p) + q) in
+    if fn <> no_need then begin
+      let vol = sign * Dag.comm st.dag u * Machine.lambda st.machine_ src q in
+      Cost_table.add_send st.table ~step:(fn - 1) ~proc:src vol;
+      Cost_table.add_recv st.table ~step:(fn - 1) ~proc:q vol
+    end
+  end
+
+let source_comm_all st u sign =
+  for q = 0 to st.p - 1 do
+    source_comm_one st u q sign
+  done
+
+let init machine (sched : Schedule.t) =
+  let dag = sched.Schedule.dag in
+  let n = Dag.n dag in
+  let p = machine.Machine.p in
+  let num_steps = Schedule.num_supersteps sched in
+  let st =
+    {
+      dag;
+      machine_ = machine;
+      p;
+      num_steps_ = num_steps;
+      proc_ = Array.copy sched.Schedule.proc;
+      step_ = Array.copy sched.Schedule.step;
+      table = Cost_table.create machine ~num_steps;
+      first_need = Array.make (n * p) no_need;
+    }
+  in
+  for v = 0 to n - 1 do
+    Cost_table.add_work st.table ~step:st.step_.(v) ~proc:st.proc_.(v) (Dag.work dag v)
+  done;
+  for u = 0 to n - 1 do
+    recompute_first_need st u;
+    source_comm_all st u 1
+  done;
+  Cost_table.refresh st.table;
+  st
+
+let valid_move st v p2 s2 =
+  s2 >= 0 && s2 < st.num_steps_
+  && Array.for_all
+       (fun u -> if st.proc_.(u) = p2 then st.step_.(u) <= s2 else st.step_.(u) < s2)
+       (Dag.pred st.dag v)
+  && Array.for_all
+       (fun w -> if st.proc_.(w) = p2 then st.step_.(w) >= s2 else st.step_.(w) > s2)
+       (Dag.succ st.dag v)
+
+(* Apply the move unconditionally; the caller compares costs and may
+   apply the inverse move to roll back (the state is a pure function of
+   the assignment, so the inverse restores it exactly). *)
+let apply_move st v p2 s2 =
+  let p1 = st.proc_.(v) in
+  (* Producer side of v itself: destinations and volumes depend on
+     proc.(v), so retract everything and re-add after the update. The
+     first_need entries of v do not change (its successors stay put). *)
+  source_comm_all st v (-1);
+  (* Predecessors: only their events towards p1 and p2 can change. *)
+  Array.iter
+    (fun u ->
+      source_comm_one st u p1 (-1);
+      if p2 <> p1 then source_comm_one st u p2 (-1))
+    (Dag.pred st.dag v);
+  Cost_table.add_work st.table ~step:st.step_.(v) ~proc:p1 (-Dag.work st.dag v);
+  Cost_table.add_work st.table ~step:s2 ~proc:p2 (Dag.work st.dag v);
+  st.proc_.(v) <- p2;
+  st.step_.(v) <- s2;
+  Array.iter
+    (fun u ->
+      let base = u * st.p in
+      let recompute q =
+        st.first_need.(base + q) <- no_need;
+        Array.iter
+          (fun w ->
+            if st.proc_.(w) = q && st.step_.(w) < st.first_need.(base + q) then
+              st.first_need.(base + q) <- st.step_.(w))
+          (Dag.succ st.dag u)
+      in
+      recompute p1;
+      if p2 <> p1 then recompute p2;
+      source_comm_one st u p1 1;
+      if p2 <> p1 then source_comm_one st u p2 1)
+    (Dag.pred st.dag v);
+  source_comm_all st v 1;
+  Cost_table.refresh st.table
+
+let snapshot st = Schedule.of_assignment st.dag ~proc:st.proc_ ~step:st.step_
+
+let assignment st = (Array.copy st.proc_, Array.copy st.step_)

@@ -1,0 +1,40 @@
+(** Shared incremental state for assignment-space local search.
+
+    Both the hill climber ({!Hc}) and the simulated-annealing variant
+    ({!Annealing}) explore the same neighbourhood — move one node to
+    another processor and/or an adjacent superstep — and need the cost
+    of each candidate in (near-)constant time. This module owns that
+    machinery: the assignment arrays, the per-(node, processor)
+    first-need table pinning the lazy communication events, and the
+    incremental {!Cost_table}.
+
+    The state is a pure function of the assignment [(pi, tau)], so any
+    applied move can be rolled back exactly by applying the inverse
+    move. *)
+
+type t
+
+val init : Machine.t -> Schedule.t -> t
+(** Build the state from a schedule (its communication schedule is
+    replaced by the lazy one). The number of supersteps is fixed for the
+    lifetime of the state. *)
+
+val machine : t -> Machine.t
+val num_steps : t -> int
+val proc : t -> int -> int
+val step : t -> int -> int
+val total_cost : t -> int
+
+val valid_move : t -> int -> int -> int -> bool
+(** [valid_move st v p' s'] — would reassigning [v] to [(p', s')] keep
+    the schedule valid (under lazy communication)? *)
+
+val apply_move : t -> int -> int -> int -> unit
+(** Apply unconditionally (caller must have checked validity); updates
+    the cost tables incrementally. *)
+
+val snapshot : t -> Schedule.t
+(** The current assignment as a schedule with lazy communication. *)
+
+val assignment : t -> int array * int array
+(** Copies of the current [(proc, step)] arrays. *)

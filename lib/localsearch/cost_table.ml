@@ -1,0 +1,84 @@
+type t = {
+  machine : Machine.t;
+  num_steps : int;
+  work : int array array;
+  send : int array array;
+  recv : int array array;
+  step_cost : int array;
+  mutable total : int;
+  dirty : int array;  (* stack of dirty superstep indices *)
+  mutable dirty_len : int;
+  is_dirty : bool array;
+}
+
+let step_cost_of t s =
+  let p = t.machine.Machine.p in
+  let work_max = ref 0 and comm_max = ref 0 in
+  for q = 0 to p - 1 do
+    if t.work.(s).(q) > !work_max then work_max := t.work.(s).(q);
+    let h = max t.send.(s).(q) t.recv.(s).(q) in
+    if h > !comm_max then comm_max := h
+  done;
+  !work_max + (t.machine.Machine.g * !comm_max) + t.machine.Machine.l
+
+let create machine ~num_steps =
+  let p = machine.Machine.p in
+  {
+    machine;
+    num_steps;
+    work = Array.make_matrix num_steps p 0;
+    send = Array.make_matrix num_steps p 0;
+    recv = Array.make_matrix num_steps p 0;
+    step_cost = Array.make num_steps machine.Machine.l;
+    total = num_steps * machine.Machine.l;
+    dirty = Array.make (max num_steps 1) 0;
+    dirty_len = 0;
+    is_dirty = Array.make (max num_steps 1) false;
+  }
+
+let num_steps t = t.num_steps
+
+let touch t s =
+  if not t.is_dirty.(s) then begin
+    t.is_dirty.(s) <- true;
+    t.dirty.(t.dirty_len) <- s;
+    t.dirty_len <- t.dirty_len + 1
+  end
+
+let add_work t ~step ~proc delta =
+  t.work.(step).(proc) <- t.work.(step).(proc) + delta;
+  touch t step
+
+let add_send t ~step ~proc delta =
+  t.send.(step).(proc) <- t.send.(step).(proc) + delta;
+  touch t step
+
+let add_recv t ~step ~proc delta =
+  t.recv.(step).(proc) <- t.recv.(step).(proc) + delta;
+  touch t step
+
+let refresh t =
+  for i = 0 to t.dirty_len - 1 do
+    let s = t.dirty.(i) in
+    t.is_dirty.(s) <- false;
+    let c = step_cost_of t s in
+    t.total <- t.total + c - t.step_cost.(s);
+    t.step_cost.(s) <- c
+  done;
+  t.dirty_len <- 0
+
+let total t = t.total
+
+let work t ~step ~proc = t.work.(step).(proc)
+let send t ~step ~proc = t.send.(step).(proc)
+let recv t ~step ~proc = t.recv.(step).(proc)
+
+let assert_consistent t =
+  if t.dirty_len <> 0 then failwith "Cost_table: refresh pending";
+  let sum = ref 0 in
+  for s = 0 to t.num_steps - 1 do
+    let c = step_cost_of t s in
+    if c <> t.step_cost.(s) then failwith "Cost_table: stale superstep cost";
+    sum := !sum + c
+  done;
+  if !sum <> t.total then failwith "Cost_table: stale total"

@@ -1,0 +1,45 @@
+(** Incremental BSP cost bookkeeping for the local search algorithms.
+
+    The hill climbers must evaluate the cost effect of thousands of
+    candidate modifications per second, so recomputing the full cost
+    function each time is out of the question (Section 4.3). This table
+    keeps the per-superstep per-processor work, send and receive totals
+    together with a cached per-superstep cost and the running total.
+    Mutators mark the touched supersteps dirty; {!refresh} re-derives the
+    cost of exactly the dirty supersteps (a maximum over [P] processors
+    each, with [P] small) and updates the total.
+
+    The paper maintains sorted sets with external pointers for O(1) max
+    queries; with [P <= 16] in all experiments, an [O(P)] rescan of a
+    dirty superstep is both simpler and faster in practice — the
+    asymptotic refinement would only matter for much larger [P]
+    (documented deviation, DESIGN.md Section 5). *)
+
+type t
+
+val create : Machine.t -> num_steps:int -> t
+(** All-zero tables for supersteps [0 .. num_steps - 1]. The latency
+    contribution [num_steps * l] is included in {!total} from the
+    start. *)
+
+val num_steps : t -> int
+
+val add_work : t -> step:int -> proc:int -> int -> unit
+(** Add a (possibly negative) amount of work. *)
+
+val add_send : t -> step:int -> proc:int -> int -> unit
+val add_recv : t -> step:int -> proc:int -> int -> unit
+
+val refresh : t -> unit
+(** Recompute the cost of dirty supersteps and fold into the total. *)
+
+val total : t -> int
+(** Current total cost; only meaningful right after {!refresh}. *)
+
+val work : t -> step:int -> proc:int -> int
+val send : t -> step:int -> proc:int -> int
+val recv : t -> step:int -> proc:int -> int
+
+val assert_consistent : t -> unit
+(** Debug helper: verifies the cached per-superstep costs and total match
+    a from-scratch recomputation; raises on mismatch. *)

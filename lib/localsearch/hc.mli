@@ -1,0 +1,37 @@
+(** HC: hill-climbing local search over the assignment (Section 4.3).
+
+    Starting from a valid BSP schedule, HC repeatedly applies the first
+    single-node move that strictly decreases the total cost, until a
+    local minimum is reached or the budget runs out. The neighbourhood of
+    a node [v] currently on [(p, s)] consists of every [(p', s')] with
+    [p'] any processor and [s' ∈ {s-1, s, s+1}] (within the existing
+    superstep range), all other assignments unchanged (Appendix A.3).
+
+    HC assumes and maintains the {e lazy} communication schedule: for
+    every node [u] and processor [q] it stores the first superstep in
+    which [q] needs the value of [u], which pins the (unique) lazy
+    communication event to phase [first_need - 1] and lets a move update
+    only the affected supersteps of the incremental {!Cost_table}.
+
+    The number of supersteps is fixed during the search; supersteps that
+    become empty are removed by a final {!Schedule.compact}, which can
+    only decrease the cost further. *)
+
+type stats = {
+  moves_applied : int;
+  moves_evaluated : int;
+  initial_cost : int;
+  final_cost : int;
+}
+
+val improve :
+  ?budget:Budget.t -> ?max_moves:int -> Machine.t -> Schedule.t -> Schedule.t * stats
+(** Run the greedy first-improvement search. The input communication
+    schedule is replaced by the lazy one (HC is specified over lazy
+    schedules — Appendix A); the output cost is therefore measured on the
+    lazy schedule too and never exceeds the input's lazy cost.
+
+    [budget] is ticked once per evaluated candidate move (use it for
+    wall-clock limits); [max_moves] caps the number of {e applied}
+    improvement moves, which is how the multilevel refinement phase
+    bounds its per-level work (Appendix A.5). *)

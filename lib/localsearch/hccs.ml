@@ -1,0 +1,133 @@
+type stats = {
+  moves_applied : int;
+  moves_evaluated : int;
+  initial_cost : int;
+  final_cost : int;
+}
+
+type pair = {
+  node : int;
+  src : int;
+  dst : int;
+  vol : int;  (* c(node) * lambda(src, dst) *)
+  lo : int;  (* earliest usable phase: tau(node) *)
+  hi : int;  (* latest usable phase: first_need - 1 *)
+  mutable cur : int;
+}
+
+let required_pairs machine (sched : Schedule.t) =
+  let dag = sched.Schedule.dag in
+  let n = Dag.n dag in
+  let first_need = Hashtbl.create (2 * n) in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun u ->
+        if sched.Schedule.proc.(u) <> sched.Schedule.proc.(v) then begin
+          let key = (u, sched.Schedule.proc.(v)) in
+          match Hashtbl.find_opt first_need key with
+          | Some s when s <= sched.Schedule.step.(v) -> ()
+          | _ -> Hashtbl.replace first_need key sched.Schedule.step.(v)
+        end)
+      (Dag.pred dag v)
+  done;
+  (* Start each pair from the input schedule's direct event when one fits
+     the window; otherwise from the lazy position (window end). *)
+  let initial = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Schedule.comm_event) ->
+      if e.src = sched.Schedule.proc.(e.node) then begin
+        let key = (e.node, e.dst) in
+        match Hashtbl.find_opt initial key with
+        | Some s when s <= e.step -> ()
+        | _ -> Hashtbl.replace initial key e.step
+      end)
+    sched.Schedule.comm;
+  Hashtbl.fold
+    (fun (u, dst) s0 acc ->
+      let src = sched.Schedule.proc.(u) in
+      let lo = sched.Schedule.step.(u) and hi = s0 - 1 in
+      let cur =
+        match Hashtbl.find_opt initial (u, dst) with
+        | Some s when s >= lo && s <= hi -> s
+        | _ -> hi
+      in
+      {
+        node = u;
+        src;
+        dst;
+        vol = Dag.comm dag u * Machine.lambda machine src dst;
+        lo;
+        hi;
+        cur;
+      }
+      :: acc)
+    first_need []
+
+let improve ?(budget = Budget.unlimited) machine (sched : Schedule.t) =
+  let dag = sched.Schedule.dag in
+  let num_steps = Schedule.num_supersteps sched in
+  let pairs = Array.of_list (required_pairs machine sched) in
+  Array.sort (fun a b -> compare (a.node, a.dst) (b.node, b.dst)) pairs;
+  let table = Cost_table.create machine ~num_steps in
+  for v = 0 to Dag.n dag - 1 do
+    Cost_table.add_work table ~step:sched.Schedule.step.(v)
+      ~proc:sched.Schedule.proc.(v) (Dag.work dag v)
+  done;
+  let place pair sign =
+    Cost_table.add_send table ~step:pair.cur ~proc:pair.src (sign * pair.vol);
+    Cost_table.add_recv table ~step:pair.cur ~proc:pair.dst (sign * pair.vol)
+  in
+  Array.iter (fun pair -> place pair 1) pairs;
+  Cost_table.refresh table;
+  let to_schedule () =
+    let comm =
+      Array.to_list pairs
+      |> List.map (fun pair ->
+             { Schedule.node = pair.node; src = pair.src; dst = pair.dst; step = pair.cur })
+    in
+    Schedule.make dag ~proc:sched.Schedule.proc ~step:sched.Schedule.step ~comm
+  in
+  let initial_cost = Cost_table.total table in
+  let moves_applied = ref 0 and moves_evaluated = ref 0 in
+  let improved_any = ref true in
+  while !improved_any && not (Budget.exhausted budget) do
+    improved_any := false;
+    Array.iter
+      (fun pair ->
+        if not (Budget.exhausted budget) then begin
+          let s = ref pair.lo in
+          while !s <= pair.hi do
+            if !s <> pair.cur then begin
+              ignore (Budget.tick budget : bool);
+              incr moves_evaluated;
+              let before = Cost_table.total table in
+              let old = pair.cur in
+              place pair (-1);
+              pair.cur <- !s;
+              place pair 1;
+              Cost_table.refresh table;
+              if Cost_table.total table < before then begin
+                incr moves_applied;
+                improved_any := true
+              end
+              else begin
+                place pair (-1);
+                pair.cur <- old;
+                place pair 1;
+                Cost_table.refresh table
+              end
+            end;
+            incr s
+          done
+        end)
+      pairs
+  done;
+  let result = to_schedule () in
+  let final_cost = Bsp_cost.total machine result in
+  ( result,
+    {
+      moves_applied = !moves_applied;
+      moves_evaluated = !moves_evaluated;
+      initial_cost;
+      final_cost;
+    } )

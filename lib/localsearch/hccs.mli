@@ -1,0 +1,44 @@
+(** HCcs: hill climbing on the communication schedule (Section 4.3).
+
+    With the assignment [(pi, tau)] fixed, the only remaining freedom is
+    {e when} to send each required value: if processor [q] first needs
+    the value of [u] in superstep [s0], the transfer may use any
+    communication phase in the window [[tau u, s0 - 1]]. Like the
+    paper's HCcs, this assumes each value is sent directly from the
+    processor that computed it (no relaying), so the communication
+    schedule is exactly one event per required (node, destination) pair.
+
+    The search greedily moves single events to a different phase of
+    their window while this strictly decreases the total cost, reusing
+    the incremental {!Cost_table}. Spreading transfers over earlier,
+    underused phases flattens h-relation peaks — the gain the lazy
+    schedule leaves on the table. *)
+
+type stats = {
+  moves_applied : int;
+  moves_evaluated : int;
+  initial_cost : int;
+  final_cost : int;
+}
+
+type pair = {
+  node : int;
+  src : int;  (** the producing processor, [pi node] *)
+  dst : int;
+  vol : int;  (** [c node * lambda src dst] *)
+  lo : int;  (** earliest usable phase, [tau node] *)
+  hi : int;  (** latest usable phase, [first_need - 1] *)
+  mutable cur : int;  (** currently chosen phase *)
+}
+
+val required_pairs : Machine.t -> Schedule.t -> pair list
+(** One entry per (node, destination) pair the assignment requires,
+    initialised from the input schedule's direct events where they fit
+    the window, and lazily otherwise. Shared with the ILPcs formulation,
+    which optimises the same decision space exactly. *)
+
+val improve :
+  ?budget:Budget.t -> Machine.t -> Schedule.t -> Schedule.t * stats
+(** The input's communication events are kept where the window permits
+    (direct events only); everything else starts from the lazy position.
+    The result carries the optimised explicit communication schedule. *)

@@ -1,0 +1,237 @@
+module Int_set = Set.Make (Int)
+
+type contraction = { kept : int; removed : int }
+
+type record = {
+  c : contraction;
+  members_len_before : int;
+  kept_succ_before : Int_set.t;
+  kept_pred_before : Int_set.t;
+}
+
+type members = { mutable arr : int array; mutable len : int }
+
+type t = {
+  original : Dag.t;
+  succ : Int_set.t array;
+  pred : Int_set.t array;
+  work : int array;
+  comm : int array;
+  alive_flag : bool array;
+  mutable alive_count : int;
+  members : members array;
+  owner_of : int array;
+  mutable records : record list;  (* newest first *)
+}
+
+let members_push m x =
+  if m.len = Array.length m.arr then begin
+    let arr = Array.make (max 4 (2 * m.len)) 0 in
+    Array.blit m.arr 0 arr 0 m.len;
+    m.arr <- arr
+  end;
+  m.arr.(m.len) <- x;
+  m.len <- m.len + 1
+
+let start dag =
+  let n = Dag.n dag in
+  {
+    original = dag;
+    succ = Array.init n (fun v -> Int_set.of_list (Array.to_list (Dag.succ dag v)));
+    pred = Array.init n (fun v -> Int_set.of_list (Array.to_list (Dag.pred dag v)));
+    work = Array.init n (Dag.work dag);
+    comm = Array.init n (Dag.comm dag);
+    alive_flag = Array.make n true;
+    alive_count = n;
+    members = Array.init n (fun v -> { arr = [| v |]; len = 1 });
+    owner_of = Array.init n Fun.id;
+    records = [];
+  }
+
+let original t = t.original
+let num_alive t = t.alive_count
+let alive t v = t.alive_flag.(v)
+let owner t v = t.owner_of.(v)
+
+let history t = List.rev_map (fun r -> r.c) t.records
+
+(* Is there a directed path u ~> v besides the edge (u, v) itself? *)
+let has_alternative_path t u v =
+  let visited = Hashtbl.create 32 in
+  let rec dfs x ~first =
+    Int_set.exists
+      (fun y ->
+        if first && y = v then false
+        else if y = v then true
+        else if Hashtbl.mem visited y then false
+        else begin
+          Hashtbl.add visited y ();
+          dfs y ~first:false
+        end)
+      t.succ.(x)
+  in
+  dfs u ~first:true
+
+let contract t u v =
+  let record =
+    {
+      c = { kept = u; removed = v };
+      members_len_before = t.members.(u).len;
+      kept_succ_before = t.succ.(u);
+      kept_pred_before = t.pred.(u);
+    }
+  in
+  t.work.(u) <- t.work.(u) + t.work.(v);
+  t.comm.(u) <- t.comm.(u) + t.comm.(v);
+  Int_set.iter
+    (fun w ->
+      if w <> u then begin
+        t.succ.(u) <- Int_set.add w t.succ.(u);
+        t.pred.(w) <- Int_set.add u (Int_set.remove v t.pred.(w))
+      end)
+    t.succ.(v);
+  Int_set.iter
+    (fun x ->
+      if x <> u then begin
+        t.pred.(u) <- Int_set.add x t.pred.(u);
+        t.succ.(x) <- Int_set.add u (Int_set.remove v t.succ.(x))
+      end)
+    t.pred.(v);
+  t.succ.(u) <- Int_set.remove v t.succ.(u);
+  t.alive_flag.(v) <- false;
+  t.alive_count <- t.alive_count - 1;
+  let mv = t.members.(v) in
+  for i = 0 to mv.len - 1 do
+    members_push t.members.(u) mv.arr.(i);
+    t.owner_of.(mv.arr.(i)) <- u
+  done;
+  t.records <- record :: t.records
+
+let undo_last t =
+  match t.records with
+  | [] -> None
+  | r :: rest ->
+    t.records <- rest;
+    let u = r.c.kept and v = r.c.removed in
+    (* Note: v's own adjacency sets were never modified, so they still
+       describe the finer level. Neighbour sets are rolled back using the
+       snapshot of u's adjacency to decide whether u keeps the edge. *)
+    Int_set.iter
+      (fun w ->
+        if w <> u then begin
+          let p = Int_set.add v t.pred.(w) in
+          t.pred.(w) <-
+            (if Int_set.mem w r.kept_succ_before then p else Int_set.remove u p)
+        end)
+      t.succ.(v);
+    Int_set.iter
+      (fun x ->
+        if x <> u then begin
+          let s = Int_set.add v t.succ.(x) in
+          t.succ.(x) <-
+            (if Int_set.mem x r.kept_pred_before then s else Int_set.remove u s)
+        end)
+      t.pred.(v);
+    t.succ.(u) <- r.kept_succ_before;
+    t.pred.(u) <- r.kept_pred_before;
+    t.work.(u) <- t.work.(u) - t.work.(v);
+    t.comm.(u) <- t.comm.(u) - t.comm.(v);
+    let mu = t.members.(u) in
+    for i = r.members_len_before to mu.len - 1 do
+      t.owner_of.(mu.arr.(i)) <- v
+    done;
+    mu.len <- r.members_len_before;
+    t.alive_flag.(v) <- true;
+    t.alive_count <- t.alive_count + 1;
+    Some r.c
+
+let current_edges t =
+  let acc = ref [] in
+  for u = Array.length t.alive_flag - 1 downto 0 do
+    if t.alive_flag.(u) then
+      Int_set.iter (fun v -> acc := (u, v) :: !acc) t.succ.(u)
+  done;
+  !acc
+
+type strategy = Paper_rule | Comm_matching
+
+let coarsen_to ?(strategy = Paper_rule) t ~target =
+  let target = max 1 target in
+  let made_progress = ref true in
+  while t.alive_count > target && !made_progress do
+    made_progress := false;
+    let edges = current_edges t in
+    if edges <> [] then begin
+      let candidates =
+        match strategy with
+        | Paper_rule ->
+          (* Smallest third by combined work weight, largest c(u) first
+             within it; the remaining edges serve as fallback in the same
+             secondary order. *)
+          let by_weight =
+            List.sort
+              (fun (u1, v1) (u2, v2) ->
+                compare (t.work.(u1) + t.work.(v1)) (t.work.(u2) + t.work.(v2)))
+              edges
+          in
+          let third = max 1 ((List.length by_weight + 2) / 3) in
+          let front = List.filteri (fun i _ -> i < third) by_weight in
+          let back = List.filteri (fun i _ -> i >= third) by_weight in
+          let by_comm l =
+            List.stable_sort (fun (u1, _) (u2, _) -> compare t.comm.(u2) t.comm.(u1)) l
+          in
+          by_comm front @ by_comm back
+        | Comm_matching ->
+          List.sort (fun (u1, _) (u2, _) -> compare t.comm.(u2) t.comm.(u1)) edges
+      in
+      let matched = Hashtbl.create 64 in
+      List.iter
+        (fun (u, v) ->
+          let blocked_by_matching =
+            match strategy with
+            | Paper_rule -> false
+            | Comm_matching -> Hashtbl.mem matched u || Hashtbl.mem matched v
+          in
+          if
+            t.alive_count > target
+            && (not blocked_by_matching)
+            && t.alive_flag.(u)
+            && t.alive_flag.(v)
+            && Int_set.mem v t.succ.(u)
+            && not (has_alternative_path t u v)
+          then begin
+            contract t u v;
+            (match strategy with
+             | Paper_rule -> ()
+             | Comm_matching ->
+               Hashtbl.replace matched u ();
+               Hashtbl.replace matched v ());
+            made_progress := true
+          end)
+        candidates
+    end
+  done
+
+let quotient t =
+  let n = Array.length t.alive_flag in
+  let reps = ref [] in
+  for v = n - 1 downto 0 do
+    if t.alive_flag.(v) then reps := v :: !reps
+  done;
+  let rep_of_id = Array.of_list !reps in
+  let id_of_rep = Hashtbl.create (Array.length rep_of_id) in
+  Array.iteri (fun i r -> Hashtbl.add id_of_rep r i) rep_of_id;
+  let edges = ref [] in
+  Array.iter
+    (fun u ->
+      Int_set.iter
+        (fun v ->
+          edges := (Hashtbl.find id_of_rep u, Hashtbl.find id_of_rep v) :: !edges)
+        t.succ.(u))
+    rep_of_id;
+  let work = Array.map (fun r -> t.work.(r)) rep_of_id in
+  let comm = Array.map (fun r -> t.comm.(r)) rep_of_id in
+  let dag =
+    Dag.of_edges_unchecked ~n:(Array.length rep_of_id) ~edges:!edges ~work ~comm
+  in
+  (dag, rep_of_id)

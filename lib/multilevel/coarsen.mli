@@ -1,0 +1,68 @@
+(** Acyclicity-preserving DAG coarsening (Section 4.5, Appendix A.5).
+
+    Coarsening repeatedly contracts a directed edge [(u, v)] into a
+    single node, summing both weight kinds. An edge is contractable
+    exactly when no {e other} directed path leads from [u] to [v];
+    contracting it then cannot create a cycle. Contractable edges always
+    exist in a non-trivial DAG.
+
+    Edge selection follows the paper's rule: among contractable edges,
+    prefer those in the smallest third by combined work weight
+    [w u + w v] (so no oversized cluster is forced onto one processor),
+    and among these pick the largest communication weight [c u] (saving
+    the most traffic). The implementation processes edges in rounds —
+    one sort per round, then greedy contraction with a fresh
+    contractability test per edge — rather than fully re-sorting after
+    every contraction; the preference order within a round is identical
+    and the paper notes its own selection is a simple prototype.
+
+    Every contraction is recorded so the multilevel driver can undo them
+    one by one, mapping schedules between adjacent levels. *)
+
+type t
+(** A coarsening session over a fixed original DAG. Mutable. *)
+
+type contraction = {
+  kept : int;  (** representative that absorbed the other endpoint *)
+  removed : int;  (** endpoint that disappeared *)
+}
+
+val start : Dag.t -> t
+
+val original : t -> Dag.t
+
+val num_alive : t -> int
+(** Current number of coarse nodes. *)
+
+type strategy =
+  | Paper_rule
+      (** the paper's selection: smallest third by [w u + w v], then
+          largest [c u] (Appendix A.5) *)
+  | Comm_matching
+      (** greedy matching rounds by decreasing [c u]: every node takes
+          part in at most one contraction per round, which spreads the
+          clustering evenly — one of the "more complex DAG contraction
+          methods" the paper leaves to future work *)
+
+val coarsen_to : ?strategy:strategy -> t -> target:int -> unit
+(** Contract edges until at most [target] nodes remain (or no
+    contractable edge exists, which cannot happen above 1 node).
+    [strategy] defaults to [Paper_rule]. *)
+
+val history : t -> contraction list
+(** All contractions performed, oldest first. *)
+
+val undo_last : t -> contraction option
+(** Undo the most recent contraction, restoring the finer level; [None]
+    if fully uncoarsened. *)
+
+val owner : t -> int -> int
+(** [owner t v] is the coarse representative currently containing the
+    original node [v]. *)
+
+val alive : t -> int -> bool
+
+val quotient : t -> Dag.t * int array
+(** Materialise the current coarse level as a DAG with dense ids; also
+    returns the map from coarse id to representative (original id).
+    Node weights are the sums over the merged original nodes. *)

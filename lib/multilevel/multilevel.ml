@@ -1,0 +1,79 @@
+type config = {
+  ratios : float list;
+  refine_interval : int;
+  refine_moves : int;
+  strategy : Coarsen.strategy;
+}
+
+let default_config =
+  {
+    ratios = [ 0.3; 0.15 ];
+    refine_interval = 5;
+    refine_moves = 100;
+    strategy = Coarsen.Paper_rule;
+  }
+
+(* Project the per-representative assignment onto the current level of
+   the coarsening session as a schedule on its quotient DAG, refine with
+   HC, and write the result back into the per-representative arrays. *)
+let refine_level ?budget ~refine_moves session machine ~proc_of ~step_of =
+  let qdag, rep_of_id = Coarsen.quotient session in
+  let nq = Dag.n qdag in
+  let proc = Array.init nq (fun i -> proc_of.(rep_of_id.(i))) in
+  let step = Array.init nq (fun i -> step_of.(rep_of_id.(i))) in
+  let sched = Schedule.of_assignment qdag ~proc ~step in
+  let improved, _stats = Hc.improve ?budget ~max_moves:refine_moves machine sched in
+  Array.iteri
+    (fun i r ->
+      proc_of.(r) <- improved.Schedule.proc.(i);
+      step_of.(r) <- improved.Schedule.step.(i))
+    rep_of_id
+
+let run_ratio ?budget ?(strategy = Coarsen.Paper_rule) ~refine_interval ~refine_moves
+    ~solver ~ratio machine dag =
+  let n = Dag.n dag in
+  let target = max 2 (int_of_float (ratio *. float_of_int n)) in
+  let session = Coarsen.start dag in
+  Coarsen.coarsen_to ~strategy session ~target;
+  let qdag, rep_of_id = Coarsen.quotient session in
+  let coarse = solver machine qdag in
+  (* Per-representative assignment, indexed by original node ids. *)
+  let proc_of = Array.make n 0 in
+  let step_of = Array.make n 0 in
+  Array.iteri
+    (fun i r ->
+      proc_of.(r) <- coarse.Schedule.proc.(i);
+      step_of.(r) <- coarse.Schedule.step.(i))
+    rep_of_id;
+  (* Uncoarsen in chunks, refining after each chunk. *)
+  let remaining = ref (List.length (Coarsen.history session)) in
+  while !remaining > 0 do
+    let chunk = min refine_interval !remaining in
+    for _ = 1 to chunk do
+      match Coarsen.undo_last session with
+      | Some { Coarsen.kept; removed } ->
+        proc_of.(removed) <- proc_of.(kept);
+        step_of.(removed) <- step_of.(kept)
+      | None -> ()
+    done;
+    remaining := !remaining - chunk;
+    refine_level ?budget ~refine_moves session machine ~proc_of ~step_of
+  done;
+  Schedule.compact (Schedule.of_assignment dag ~proc:proc_of ~step:step_of)
+
+let run ?(config = default_config) ?budget ~solver machine dag =
+  let candidates =
+    List.map
+      (fun ratio ->
+        run_ratio ?budget ~strategy:config.strategy
+          ~refine_interval:config.refine_interval ~refine_moves:config.refine_moves
+          ~solver ~ratio machine dag)
+      config.ratios
+  in
+  match candidates with
+  | [] -> invalid_arg "Multilevel.run: no ratios configured"
+  | first :: rest ->
+    List.fold_left
+      (fun best cand ->
+        if Bsp_cost.total machine cand < Bsp_cost.total machine best then cand else best)
+      first rest

@@ -1,0 +1,59 @@
+(** The multilevel scheduling framework (Sections 4.5, 6; Figure 4).
+
+    Designed for instances dominated by communication costs, where
+    single-node methods fail because only moving whole well-connected
+    clusters between processors pays off. Three phases:
+
+    + {b Coarsen} the DAG with {!Coarsen} to a fraction of its size;
+    + {b Solve} the coarse instance with the base scheduling pipeline
+      (passed in as a callback, so this library does not depend on the
+      pipeline assembly);
+    + {b Uncoarsen and refine}: undo the contractions a few at a time,
+      projecting the schedule onto the finer level (every restored node
+      inherits the processor and superstep of its cluster, which keeps
+      the schedule valid) and running a bounded number of HC improvement
+      moves at each level.
+
+    As in the paper, HCcs is not run during refinement — the coarse DAG
+    over-estimates communication because cluster weights are summed —
+    and the caller is expected to run the communication-schedule
+    optimisers (HCcs, ILPcs) on the final fully-uncoarsened schedule.
+    The standard configuration tries coarsening ratios 0.15 and 0.30 and
+    keeps the cheaper result (Appendix A.5). *)
+
+type config = {
+  ratios : float list;  (** coarsening targets as fractions of [n] *)
+  refine_interval : int;  (** uncontractions between refinement rounds *)
+  refine_moves : int;  (** max HC moves per refinement round *)
+  strategy : Coarsen.strategy;  (** edge-selection rule for coarsening *)
+}
+
+val default_config : config
+(** [ratios = [0.3; 0.15]], [refine_interval = 5], [refine_moves = 100],
+    the paper's edge-selection rule. *)
+
+val run :
+  ?config:config ->
+  ?budget:Budget.t ->
+  solver:(Machine.t -> Dag.t -> Schedule.t) ->
+  Machine.t ->
+  Dag.t ->
+  Schedule.t
+(** Run the full multilevel pipeline for each configured ratio and
+    return the cheapest resulting schedule (without the final
+    HCcs/ILPcs polish, which the caller owns). [budget] bounds the HC
+    refinement work across all levels. *)
+
+val run_ratio :
+  ?budget:Budget.t ->
+  ?strategy:Coarsen.strategy ->
+  refine_interval:int ->
+  refine_moves:int ->
+  solver:(Machine.t -> Dag.t -> Schedule.t) ->
+  ratio:float ->
+  Machine.t ->
+  Dag.t ->
+  Schedule.t
+(** One coarsen-solve-refine pass at a single ratio; exposed for the
+    C15-vs-C30 ablation (Table 13/14 rows) and the coarsening-strategy
+    ablation. *)

@@ -1,0 +1,64 @@
+open Schedule
+
+type superstep = { work_max : int; comm_max : int; cost : int }
+
+type breakdown = {
+  total : int;
+  work_total : int;
+  comm_total : int;
+  latency_total : int;
+  supersteps : superstep array;
+}
+
+let tables machine (t : Schedule.t) ~num_steps =
+  let p = machine.Machine.p in
+  let work = Array.make_matrix num_steps p 0 in
+  let send = Array.make_matrix num_steps p 0 in
+  let recv = Array.make_matrix num_steps p 0 in
+  let dag = t.dag in
+  for v = 0 to Dag.n dag - 1 do
+    let s = t.step.(v) in
+    if s < num_steps then work.(s).(t.proc.(v)) <- work.(s).(t.proc.(v)) + Dag.work dag v
+  done;
+  List.iter
+    (fun (e : comm_event) ->
+      if e.step < num_steps then begin
+        let volume = Dag.comm dag e.node * Machine.lambda machine e.src e.dst in
+        send.(e.step).(e.src) <- send.(e.step).(e.src) + volume;
+        recv.(e.step).(e.dst) <- recv.(e.step).(e.dst) + volume
+      end)
+    t.comm;
+  (work, send, recv)
+
+let breakdown machine (t : Schedule.t) =
+  let p = machine.Machine.p in
+  let num_steps = num_supersteps t in
+  let work, send, recv = tables machine t ~num_steps in
+  let supersteps =
+    Array.init num_steps (fun s ->
+        let work_max = ref 0 and comm_max = ref 0 in
+        for q = 0 to p - 1 do
+          if work.(s).(q) > !work_max then work_max := work.(s).(q);
+          let h = max send.(s).(q) recv.(s).(q) in
+          if h > !comm_max then comm_max := h
+        done;
+        {
+          work_max = !work_max;
+          comm_max = !comm_max;
+          cost = !work_max + (machine.Machine.g * !comm_max) + machine.Machine.l;
+        })
+  in
+  let work_total = Array.fold_left (fun acc s -> acc + s.work_max) 0 supersteps in
+  let comm_total =
+    Array.fold_left (fun acc s -> acc + (machine.Machine.g * s.comm_max)) 0 supersteps
+  in
+  let latency_total = num_steps * machine.Machine.l in
+  {
+    total = work_total + comm_total + latency_total;
+    work_total;
+    comm_total;
+    latency_total;
+    supersteps;
+  }
+
+let total machine t = (breakdown machine t).total

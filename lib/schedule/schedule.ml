@@ -1,0 +1,99 @@
+type comm_event = { node : int; src : int; dst : int; step : int }
+
+type t = {
+  dag : Dag.t;
+  proc : int array;
+  step : int array;
+  comm : comm_event list;
+}
+
+let make dag ~proc ~step ~comm =
+  if Array.length proc <> Dag.n dag || Array.length step <> Dag.n dag then
+    invalid_arg "Schedule.make: assignment length mismatch";
+  { dag; proc = Array.copy proc; step = Array.copy step; comm }
+
+let num_supersteps t =
+  if Dag.n t.dag = 0 then 0 else 1 + Array.fold_left max 0 t.step
+
+let trivial dag =
+  let n = Dag.n dag in
+  { dag; proc = Array.make n 0; step = Array.make n 0; comm = [] }
+
+let lazy_comm dag ~proc ~step =
+  let n = Dag.n dag in
+  (* first_need maps (node, destination processor) to the earliest
+     superstep a successor of the node needs its value there. *)
+  let first_need = Hashtbl.create (2 * n) in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun u ->
+        if proc.(u) <> proc.(v) then begin
+          let key = (u, proc.(v)) in
+          match Hashtbl.find_opt first_need key with
+          | Some s when s <= step.(v) -> ()
+          | _ -> Hashtbl.replace first_need key step.(v)
+        end)
+      (Dag.pred dag v)
+  done;
+  Hashtbl.fold
+    (fun (u, dst) s acc -> { node = u; src = proc.(u); dst; step = s - 1 } :: acc)
+    first_need []
+
+let of_assignment dag ~proc ~step =
+  {
+    dag;
+    proc = Array.copy proc;
+    step = Array.copy step;
+    comm = lazy_comm dag ~proc ~step;
+  }
+
+let with_lazy_comm t = { t with comm = lazy_comm t.dag ~proc:t.proc ~step:t.step }
+
+let assignment_valid dag ~proc ~step =
+  let ok = ref true in
+  Dag.iter_edges dag (fun u v ->
+      if proc.(u) = proc.(v) then begin
+        if step.(u) > step.(v) then ok := false
+      end
+      else if step.(u) >= step.(v) then ok := false);
+  !ok
+
+let used_supersteps t =
+  let s = num_supersteps t in
+  if s = 0 then 0
+  else begin
+    let used = Array.make s false in
+    Array.iter (fun x -> used.(x) <- true) t.step;
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 used
+  end
+
+let compact t =
+  let s = num_supersteps t in
+  if s = 0 then t
+  else begin
+    let used = Array.make s false in
+    Array.iter (fun x -> used.(x) <- true) t.step;
+    let remap = Array.make s 0 in
+    let next = ref 0 in
+    for i = 0 to s - 1 do
+      remap.(i) <- !next;
+      if used.(i) then incr next
+    done;
+    let step = Array.map (fun x -> remap.(x)) t.step in
+    of_assignment t.dag ~proc:t.proc ~step
+  end
+
+let copy t =
+  { t with proc = Array.copy t.proc; step = Array.copy t.step }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>schedule: %d nodes, %d supersteps, %d comm events@,"
+    (Dag.n t.dag) (num_supersteps t) (List.length t.comm);
+  for v = 0 to Dag.n t.dag - 1 do
+    Format.fprintf fmt "  node %d -> proc %d, step %d@," v t.proc.(v) t.step.(v)
+  done;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  send %d: %d -> %d @@ phase %d@," e.node e.src e.dst e.step)
+    t.comm;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,83 @@
+(** BSP schedules.
+
+    A BSP schedule of a DAG (Section 3.2) consists of
+
+    - an assignment of nodes to processors [proc] (the paper's [pi]) and
+      to supersteps [step] (the paper's [tau]), and
+    - a communication schedule [comm] (the paper's [Gamma]): a set of
+      events [(node, src, dst, step)] meaning the output of [node] is
+      sent from processor [src] to processor [dst] in the communication
+      phase of superstep [step].
+
+    Supersteps are numbered from 0. The communication phase of superstep
+    [s] happens after the computation phase of superstep [s] and before
+    the computation phase of superstep [s + 1]. A value sent in phase [s]
+    is available on the destination from superstep [s + 1] onwards.
+
+    The schedule owns a reference to its DAG so validity and cost can be
+    queried without re-threading the graph everywhere. *)
+
+type comm_event = {
+  node : int;  (** whose output is transferred *)
+  src : int;  (** sending processor *)
+  dst : int;  (** receiving processor *)
+  step : int;  (** communication phase used *)
+}
+
+type t = {
+  dag : Dag.t;
+  proc : int array;  (** [pi]: node -> processor *)
+  step : int array;  (** [tau]: node -> superstep *)
+  comm : comm_event list;  (** [Gamma] *)
+}
+
+val make : Dag.t -> proc:int array -> step:int array -> comm:comm_event list -> t
+(** Bundle an assignment with an explicit communication schedule. Array
+    lengths must match the DAG; entries are not otherwise validated (use
+    {!Validity}). The arrays are copied. *)
+
+val num_supersteps : t -> int
+(** [1 + max tau] over nodes (0 for the empty DAG), also covering every
+    communication phase used by a valid schedule. *)
+
+val trivial : Dag.t -> t
+(** Everything on processor 0 in superstep 0 with no communication — the
+    paper's trivial baseline for communication-dominated instances
+    (Section 7.3). *)
+
+(** {1 Lazy communication schedules}
+
+    Simple schedulers only produce the assignment [(pi, tau)]; the
+    associated {e lazy communication schedule} sends every value directly
+    from the processor that computed it, in the last possible phase: if
+    [u] is needed on processor [q <> pi u] then [u] is sent in phase
+    [min step(v) - 1] over successors [v] of [u] with [pi v = q]
+    (Appendix A, "lazy communication schedule"; a value is sent at most
+    once per destination). *)
+
+val lazy_comm : Dag.t -> proc:int array -> step:int array -> comm_event list
+
+val of_assignment : Dag.t -> proc:int array -> step:int array -> t
+(** Assignment plus its lazy communication schedule. Arrays are copied. *)
+
+val with_lazy_comm : t -> t
+(** Replace [comm] by the lazy schedule of the assignment. *)
+
+val assignment_valid : Dag.t -> proc:int array -> step:int array -> bool
+(** An assignment admits a (lazy) communication schedule iff every edge
+    [(u, v)] satisfies [step u <= step v] when on the same processor and
+    [step u < step v] when on different processors. *)
+
+val compact : t -> t
+(** Remove supersteps to which no node is assigned, renumbering the rest
+    and re-deriving the lazy communication schedule. Intended for
+    schedules whose [comm] is (semantically) lazy; a hand-optimised
+    [Gamma] would be discarded. *)
+
+val used_supersteps : t -> int
+(** Number of distinct supersteps that actually contain nodes. *)
+
+val copy : t -> t
+(** Deep copy (fresh arrays; the DAG is shared, being immutable). *)
+
+val pp : Format.formatter -> t -> unit

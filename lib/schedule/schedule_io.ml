@@ -1,0 +1,76 @@
+let to_string (t : Schedule.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "% bsp schedule: node/proc/superstep, then comm events\n";
+  let n = Dag.n t.Schedule.dag in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" n (List.length t.Schedule.comm));
+  for v = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d %d\n" v t.Schedule.proc.(v) t.Schedule.step.(v))
+  done;
+  List.iter
+    (fun (e : Schedule.comm_event) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d %d %d\n" e.node e.src e.dst e.step))
+    t.Schedule.comm;
+  Buffer.contents buf
+
+let of_string dag text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '%')
+  in
+  let ints line =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some i -> i
+           | None -> failwith ("Schedule_io: not an integer: " ^ s))
+  in
+  match lines with
+  | [] -> failwith "Schedule_io: empty input"
+  | header :: rest ->
+    let n, num_events =
+      match ints header with
+      | [ n; e ] -> (n, e)
+      | _ -> failwith "Schedule_io: header must be <nodes> <events>"
+    in
+    if n <> Dag.n dag then failwith "Schedule_io: node count does not match the DAG";
+    if List.length rest < n + num_events then failwith "Schedule_io: truncated file";
+    let proc = Array.make n 0 and step = Array.make n 0 in
+    List.iteri
+      (fun i line ->
+        if i < n then
+          match ints line with
+          | [ v; p; s ] when v >= 0 && v < n ->
+            proc.(v) <- p;
+            step.(v) <- s
+          | _ -> failwith "Schedule_io: bad assignment line")
+      rest;
+    let events =
+      List.filteri (fun i _ -> i >= n && i < n + num_events) rest
+      |> List.map (fun line ->
+             match ints line with
+             | [ node; src; dst; phase ] -> { Schedule.node; src; dst; step = phase }
+             | _ -> failwith "Schedule_io: bad comm event line")
+    in
+    Schedule.make dag ~proc ~step ~comm:events
+
+let write oc t = output_string oc (to_string t)
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc t)
+
+let read dag ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  of_string dag (Buffer.contents buf)
+
+let read_file dag path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read dag ic)

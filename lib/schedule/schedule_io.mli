@@ -1,0 +1,26 @@
+(** Textual serialisation of BSP schedules.
+
+    Format (lines starting with [%] are comments):
+
+    {v
+    % bsp schedule
+    <num_nodes> <num_comm_events>
+    <node> <processor> <superstep>        (one line per node)
+    ...
+    <node> <src> <dst> <phase>            (one line per comm event)
+    ...
+    v}
+
+    The DAG itself is not stored; reading requires the DAG the schedule
+    refers to, and validates the node count against it. *)
+
+val write : out_channel -> Schedule.t -> unit
+val write_file : string -> Schedule.t -> unit
+
+val read : Dag.t -> in_channel -> Schedule.t
+(** Raises [Failure] with a descriptive message on malformed input. *)
+
+val read_file : Dag.t -> string -> Schedule.t
+
+val to_string : Schedule.t -> string
+val of_string : Dag.t -> string -> Schedule.t

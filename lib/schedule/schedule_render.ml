@@ -1,0 +1,48 @@
+let to_string ?(max_nodes_per_cell = 6) machine (t : Schedule.t) =
+  let buf = Buffer.create 1024 in
+  let p = machine.Machine.p in
+  let num_steps = Schedule.num_supersteps t in
+  let b = Bsp_cost.breakdown machine t in
+  Buffer.add_string buf
+    (Printf.sprintf "schedule: %d nodes, %d supersteps, %d processors, cost %d\n"
+       (Dag.n t.Schedule.dag) num_steps p b.Bsp_cost.total);
+  (* Nodes per (superstep, processor). *)
+  let cells = Array.make_matrix num_steps p [] in
+  for v = Dag.n t.Schedule.dag - 1 downto 0 do
+    cells.(t.Schedule.step.(v)).(t.Schedule.proc.(v)) <-
+      v :: cells.(t.Schedule.step.(v)).(t.Schedule.proc.(v))
+  done;
+  let cell_text nodes =
+    let shown = List.filteri (fun i _ -> i < max_nodes_per_cell) nodes in
+    let body = String.concat "," (List.map string_of_int shown) in
+    if List.length nodes > max_nodes_per_cell then body ^ ".." else body
+  in
+  for s = 0 to num_steps - 1 do
+    let c = b.Bsp_cost.supersteps.(s) in
+    Buffer.add_string buf
+      (Printf.sprintf "superstep %d  (work %d, h-relation %d, cost %d)\n" s
+         c.Bsp_cost.work_max c.Bsp_cost.comm_max c.Bsp_cost.cost);
+    for q = 0 to p - 1 do
+      let nodes = cells.(s).(q) in
+      if nodes <> [] then
+        Buffer.add_string buf (Printf.sprintf "  p%-3d: %s\n" q (cell_text nodes))
+    done;
+    let events =
+      List.filter (fun (e : Schedule.comm_event) -> e.step = s) t.Schedule.comm
+    in
+    if events <> [] then begin
+      let shown = List.filteri (fun i _ -> i < max_nodes_per_cell) events in
+      let body =
+        String.concat ", "
+          (List.map
+             (fun (e : Schedule.comm_event) ->
+               Printf.sprintf "%d:%d->%d" e.node e.src e.dst)
+             shown)
+      in
+      let suffix = if List.length events > max_nodes_per_cell then ", .." else "" in
+      Buffer.add_string buf (Printf.sprintf "  comm: %s%s\n" body suffix)
+    end
+  done;
+  Buffer.contents buf
+
+let pp machine fmt t = Format.pp_print_string fmt (to_string machine t)

@@ -1,0 +1,87 @@
+open Schedule
+
+let errors machine (t : Schedule.t) =
+  let dag = t.dag in
+  let n = Dag.n dag in
+  let p = machine.Machine.p in
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (* Range checks first; later checks assume indices are usable. *)
+  let ranges_ok = ref true in
+  for v = 0 to n - 1 do
+    if t.proc.(v) < 0 || t.proc.(v) >= p then begin
+      ranges_ok := false;
+      err "node %d assigned to processor %d outside [0, %d)" v t.proc.(v) p
+    end;
+    if t.step.(v) < 0 then begin
+      ranges_ok := false;
+      err "node %d assigned to negative superstep %d" v t.step.(v)
+    end
+  done;
+  List.iter
+    (fun e ->
+      if e.node < 0 || e.node >= n then begin
+        ranges_ok := false;
+        err "comm event for unknown node %d" e.node
+      end;
+      if e.src < 0 || e.src >= p || e.dst < 0 || e.dst >= p then begin
+        ranges_ok := false;
+        err "comm event for node %d uses processor outside [0, %d)" e.node p
+      end;
+      if e.src = e.dst then begin
+        ranges_ok := false;
+        err "comm event for node %d sends from processor %d to itself" e.node e.src
+      end;
+      if e.step < 0 then begin
+        ranges_ok := false;
+        err "comm event for node %d uses negative phase %d" e.node e.step
+      end)
+    t.comm;
+  if !ranges_ok then begin
+    (* arrival.(v) maps destination processors to the earliest phase in
+       which some event delivers v there. *)
+    let arrival = Array.make n [] in
+    List.iter
+      (fun e ->
+        let cur = arrival.(e.node) in
+        arrival.(e.node) <- (e.dst, e.step) :: cur)
+      t.comm;
+    let earliest_arrival v dst =
+      List.fold_left
+        (fun acc (d, s) -> if d = dst && (acc < 0 || s < acc) then s else acc)
+        (-1) arrival.(v)
+    in
+    (* Condition 1: precedence constraints. *)
+    Dag.iter_edges dag (fun u v ->
+        if t.proc.(u) = t.proc.(v) then begin
+          if t.step.(u) > t.step.(v) then
+            err "edge (%d,%d) on processor %d goes backwards in supersteps (%d > %d)" u v
+              t.proc.(u) t.step.(u) t.step.(v)
+        end
+        else begin
+          let a = earliest_arrival u t.proc.(v) in
+          if a < 0 || a >= t.step.(v) then
+            err
+              "edge (%d,%d): value of %d is not delivered to processor %d before superstep %d"
+              u v u t.proc.(v) t.step.(v)
+        end);
+    (* Condition 2: every sent value is present at its source. An event
+       (v, p1, p2, s) needs pi v = p1 and tau v <= s, or an earlier event
+       delivering v to p1. *)
+    List.iter
+      (fun e ->
+        let computed_here = t.proc.(e.node) = e.src && t.step.(e.node) <= e.step in
+        let relayed =
+          List.exists (fun (d, s) -> d = e.src && s < e.step) arrival.(e.node)
+        in
+        if not (computed_here || relayed) then
+          err "comm event for node %d at phase %d sends from processor %d where it is not present"
+            e.node e.step e.src)
+      t.comm
+  end;
+  List.rev !errs
+
+let check machine t =
+  match errors machine t with [] -> Ok () | errs -> Error errs
+
+let is_valid machine t = errors machine t = []

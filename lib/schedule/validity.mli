@@ -1,0 +1,23 @@
+(** Validity of BSP schedules.
+
+    A schedule [(pi, tau, Gamma)] is valid (Section 3.2) when:
+
+    - every assignment entry is in range ([0 <= pi v < P], [tau v >= 0],
+      communication events use distinct in-range processors and
+      non-negative phases);
+    - for every edge [(u, v)]: if [pi u = pi v] then [tau u <= tau v],
+      otherwise some event [(u, p1, pi v, s)] with [s < tau v] belongs to
+      [Gamma] (the value arrives before [v]'s superstep starts);
+    - every event [(v, p1, p2, s)] sends a value that is actually present
+      on [p1] at phase [s]: either [pi v = p1] and [tau v <= s], or an
+      earlier event [(v, p', p1, s')] with [s' < s] delivered it (relay
+      chains are allowed). *)
+
+val check : Machine.t -> Schedule.t -> (unit, string list) result
+(** Full check; on failure returns a list of human-readable violation
+    descriptions (at most one per offending edge/event). *)
+
+val is_valid : Machine.t -> Schedule.t -> bool
+
+val errors : Machine.t -> Schedule.t -> string list
+(** [[]] iff valid. *)

@@ -1,0 +1,49 @@
+type kind =
+  | Unlimited
+  | Steps of { mutable remaining : int }
+  | Deadline of float
+  | Pair of t * t
+
+and t = { kind : kind; mutable used : int; mutable dead : bool }
+
+let make kind = { kind; used = 0; dead = false }
+
+let unlimited = make Unlimited
+
+let steps n = make (Steps { remaining = n })
+
+let seconds s = make (Deadline (Unix.gettimeofday () +. s))
+
+let combine a b = make (Pair (a, b))
+
+let rec exhausted t =
+  if t.dead then true
+  else
+    let d =
+      match t.kind with
+      | Unlimited -> false
+      | Steps { remaining } -> remaining <= 0
+      (* gettimeofday is a vDSO call (~tens of ns): probing on every
+         check is cheap and lets deadlines interrupt consumers whose
+         per-tick work is expensive (one branch-and-bound node can cost
+         an entire LP solve). *)
+      | Deadline deadline -> Unix.gettimeofday () >= deadline
+      | Pair (a, b) -> exhausted a || exhausted b
+    in
+    if d then t.dead <- true;
+    d
+
+let rec tick t =
+  if exhausted t then false
+  else begin
+    (match t.kind with
+     | Unlimited | Deadline _ -> ()
+     | Steps s -> s.remaining <- s.remaining - 1
+     | Pair (a, b) ->
+       ignore (tick a : bool);
+       ignore (tick b : bool));
+    t.used <- t.used + 1;
+    true
+  end
+
+let used_steps t = t.used

@@ -1,0 +1,33 @@
+(** Computation budgets for the iterative algorithms.
+
+    The paper controls its iterative stages (hill climbing, ILP solving,
+    multilevel refinement) with wall-clock limits. Wall-clock limits make
+    experiments non-deterministic, so every stage in this framework
+    accepts a {!t} combining an optional step budget with an optional
+    wall-clock budget; tests and benchmarks use step budgets for
+    reproducibility while the CLI exposes seconds. *)
+
+type t
+
+val unlimited : t
+(** Never exhausted. *)
+
+val steps : int -> t
+(** [steps n] is exhausted after [n] calls to {!tick} succeed. *)
+
+val seconds : float -> t
+(** [seconds s] is exhausted [s] seconds after its creation. *)
+
+val combine : t -> t -> t
+(** Exhausted as soon as either component is exhausted. Ticks are
+    forwarded to both. *)
+
+val tick : t -> bool
+(** Consume one unit of work; [true] if the budget still allows more
+    work, [false] once exhausted. Once exhausted, stays exhausted. *)
+
+val exhausted : t -> bool
+(** Non-consuming check. *)
+
+val used_steps : t -> int
+(** Number of successful ticks so far (summed over components). *)

@@ -1,0 +1,52 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;  (* index of the bottom element *)
+  mutable size : int;
+}
+
+let create () = { buf = Array.make 8 None; head = 0; size = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to t.size - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push_top t x =
+  if t.size = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.buf.((t.head + t.size) mod cap) <- Some x;
+  t.size <- t.size + 1
+
+let pop_top t =
+  if t.size = 0 then None
+  else begin
+    let cap = Array.length t.buf in
+    let i = (t.head + t.size - 1) mod cap in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.size <- t.size - 1;
+    x
+  end
+
+let pop_bottom t =
+  if t.size = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.size <- t.size - 1;
+    x
+  end
+
+let peek_top t =
+  if t.size = 0 then None
+  else t.buf.((t.head + t.size - 1) mod Array.length t.buf)
+
+let peek_bottom t = if t.size = 0 then None else t.buf.(t.head)

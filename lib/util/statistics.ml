@@ -1,0 +1,13 @@
+let geometric_mean = function
+  | [] -> nan
+  | xs ->
+    let n = List.length xs in
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (log_sum /. float_of_int n)
+
+let mean = function
+  | [] -> nan
+  | xs ->
+    List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percent_reduction ratio = (1.0 -. ratio) *. 100.0

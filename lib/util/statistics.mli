@@ -1,0 +1,14 @@
+(** Small statistical helpers used by the experiment harness. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of a list of positive ratios; the paper aggregates
+    per-instance cost ratios this way (Section 7). Returns [nan] on the
+    empty list. *)
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on the empty list. *)
+
+val percent_reduction : float -> float
+(** [percent_reduction ratio] renders a cost ratio [ours/baseline] as the
+    paper's "cost reduction" percentage, e.g. a ratio of 0.56 is a 44%
+    reduction. *)

@@ -1,0 +1,117 @@
+let check_bool = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+let machine_p p = Machine.uniform ~p ~g:2 ~l:3
+
+let test_cilk_deterministic () =
+  let rng = Rng.create 5 in
+  let dag = Test_util.random_dag rng ~n:40 ~edge_prob:0.15 ~max_w:4 ~max_c:3 in
+  let a = Cilk.run dag ~p:4 ~seed:42 in
+  let b = Cilk.run dag ~p:4 ~seed:42 in
+  Alcotest.(check (array int)) "same procs" a.Classical.proc b.Classical.proc;
+  Alcotest.(check (array int)) "same seq" a.Classical.seq b.Classical.seq
+
+let test_cilk_single_proc () =
+  let dag = Test_util.diamond () in
+  let s = Cilk.schedule dag ~p:1 ~seed:0 in
+  check "one superstep" 1 (Schedule.num_supersteps s);
+  check_bool "valid" true (Validity.is_valid (machine_p 1) s)
+
+let test_cilk_uses_all_processors () =
+  (* 16 independent nodes on 4 processors: stealing must spread work. *)
+  let dag =
+    Dag.of_edges ~n:16 ~edges:[] ~work:(Array.make 16 10) ~comm:(Array.make 16 1)
+  in
+  let cl = Cilk.run dag ~p:4 ~seed:7 in
+  let used = Array.make 4 false in
+  Array.iter (fun q -> used.(q) <- true) cl.Classical.proc;
+  check_bool "all processors used" true (Array.for_all Fun.id used)
+
+let test_cilk_seq_respects_precedence () =
+  let rng = Rng.create 9 in
+  let dag = Test_util.random_dag rng ~n:30 ~edge_prob:0.2 ~max_w:3 ~max_c:3 in
+  let cl = Cilk.run dag ~p:3 ~seed:1 in
+  Dag.iter_edges dag (fun u v ->
+      check_bool "pred first" true (cl.Classical.seq.(u) < cl.Classical.seq.(v)))
+
+let test_list_schedulers_chain () =
+  (* A chain must stay on one processor under both list schedulers: any
+     migration only delays the start. *)
+  let dag = Test_util.chain 6 in
+  let m = machine_p 4 in
+  List.iter
+    (fun variant ->
+      let cl = List_scheduler.run variant m dag in
+      let q = cl.Classical.proc.(0) in
+      Array.iter (fun q' -> check "chain stays put" q q') cl.Classical.proc)
+    [ List_scheduler.Bl_est; List_scheduler.Etf ]
+
+let test_list_scheduler_parallel_work () =
+  (* Independent heavy nodes spread across processors. *)
+  let dag =
+    Dag.of_edges ~n:8 ~edges:[] ~work:(Array.make 8 10) ~comm:(Array.make 8 1)
+  in
+  let m = machine_p 4 in
+  List.iter
+    (fun variant ->
+      let cl = List_scheduler.run variant m dag in
+      let loads = Array.make 4 0 in
+      Array.iteri (fun v q -> loads.(q) <- loads.(q) + Dag.work dag v) cl.Classical.proc;
+      Array.iter (fun load -> check "balanced" 20 load) loads)
+    [ List_scheduler.Bl_est; List_scheduler.Etf ]
+
+let test_hdagg_respects_wavefronts () =
+  let dag = Test_util.diamond () in
+  let m = machine_p 2 in
+  let s = Hdagg.schedule ~aggregate:false m dag in
+  Alcotest.(check (array int)) "steps = wavefronts" (Dag.wavefronts dag) s.Schedule.step;
+  check_bool "valid" true (Validity.is_valid m s)
+
+let test_hdagg_aggregation_never_worse () =
+  let rng = Rng.create 17 in
+  let dag = Test_util.random_dag rng ~n:40 ~edge_prob:0.1 ~max_w:4 ~max_c:3 in
+  let m = machine_p 4 in
+  let plain = Hdagg.schedule ~aggregate:false m dag in
+  let agg = Hdagg.schedule ~aggregate:true m dag in
+  check_bool "aggregate <= plain" true
+    (Bsp_cost.total m agg <= Bsp_cost.total m plain);
+  check_bool "valid" true (Validity.is_valid m agg)
+
+(* Property: every baseline produces a valid BSP schedule on random
+   DAGs and machines. *)
+let prop_baselines_valid =
+  Test_util.qtest ~count:60 "baselines valid"
+    QCheck2.Gen.(pair (Test_util.arb_dag ()) (pair (Test_util.arb_machine ()) (int_bound 1000)))
+    (fun (dag, (m, seed)) ->
+      let p = m.Machine.p in
+      Validity.is_valid m (Cilk.schedule dag ~p ~seed)
+      && Validity.is_valid m (List_scheduler.schedule List_scheduler.Bl_est m dag)
+      && Validity.is_valid m (List_scheduler.schedule List_scheduler.Etf m dag)
+      && Validity.is_valid m (Hdagg.schedule m dag)
+      && Validity.is_valid m (Schedule.trivial dag))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "cilk",
+        [
+          Alcotest.test_case "deterministic" `Quick test_cilk_deterministic;
+          Alcotest.test_case "single processor" `Quick test_cilk_single_proc;
+          Alcotest.test_case "stealing spreads work" `Quick test_cilk_uses_all_processors;
+          Alcotest.test_case "sequence respects precedence" `Quick
+            test_cilk_seq_respects_precedence;
+        ] );
+      ( "list",
+        [
+          Alcotest.test_case "chain stays put" `Quick test_list_schedulers_chain;
+          Alcotest.test_case "independent work spreads" `Quick
+            test_list_scheduler_parallel_work;
+        ] );
+      ( "hdagg",
+        [
+          Alcotest.test_case "wavefront steps" `Quick test_hdagg_respects_wavefronts;
+          Alcotest.test_case "aggregation never worse" `Quick
+            test_hdagg_aggregation_never_worse;
+        ] );
+      ("property", [ prop_baselines_valid ]);
+    ]

@@ -1,0 +1,210 @@
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_basic_accessors () =
+  let g = Test_util.diamond () in
+  check "n" 4 (Dag.n g);
+  check "edges" 4 (Dag.num_edges g);
+  check "work" 3 (Dag.work g 2);
+  check "comm" 2 (Dag.comm g 2);
+  check "total work" 10 (Dag.total_work g);
+  check "total comm" 5 (Dag.total_comm g);
+  check "indeg sink" 2 (Dag.in_degree g 3);
+  check "outdeg source" 2 (Dag.out_degree g 0);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources g);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (Dag.sinks g)
+
+let test_duplicate_edges_collapse () =
+  let g =
+    Dag.of_edges ~n:2 ~edges:[ (0, 1); (0, 1); (0, 1) ] ~work:[| 1; 1 |] ~comm:[| 1; 1 |]
+  in
+  check "edges deduped" 1 (Dag.num_edges g)
+
+let test_cycle_rejected () =
+  Alcotest.check_raises "cycle" (Invalid_argument "Dag.of_edges: edge set contains a directed cycle")
+    (fun () ->
+      ignore
+        (Dag.of_edges ~n:3 ~edges:[ (0, 1); (1, 2); (2, 0) ] ~work:[| 1; 1; 1 |]
+           ~comm:[| 1; 1; 1 |]))
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Dag: self-loop") (fun () ->
+      ignore (Dag.of_edges ~n:1 ~edges:[ (0, 0) ] ~work:[| 1 |] ~comm:[| 1 |]))
+
+let test_negative_weight_rejected () =
+  Alcotest.check_raises "negative work" (Invalid_argument "Dag: negative work weight")
+    (fun () -> ignore (Dag.of_edges ~n:1 ~edges:[] ~work:[| -1 |] ~comm:[| 1 |]))
+
+let test_topological_order () =
+  let g = Test_util.diamond () in
+  let order = Dag.topological_order g in
+  let rank = Dag.topological_rank g in
+  check "first" 0 order.(0);
+  check "last" 3 order.(3);
+  Dag.iter_edges g (fun u v ->
+      check_bool "edge respects order" true (rank.(u) < rank.(v)))
+
+let test_wavefronts () =
+  let g = Test_util.diamond () in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 1; 2 |] (Dag.wavefronts g);
+  check "count" 3 (Dag.num_wavefronts g);
+  let c = Test_util.chain 5 in
+  check "chain wavefronts" 5 (Dag.num_wavefronts c)
+
+let test_bottom_level () =
+  let g = Test_util.diamond () in
+  (* Without communication: bl(3)=4, bl(1)=2+4=6, bl(2)=3+4=7, bl(0)=1+7=8. *)
+  let bl = Dag.bottom_level g ~comm_factor:0 in
+  Alcotest.(check (array int)) "plain" [| 8; 6; 7; 4 |] bl;
+  (* With comm factor 2: bl(1)=2+2*1+4=8, bl(2)=3+2*2+4=11, bl(0)=1+2+11=14. *)
+  let blc = Dag.bottom_level g ~comm_factor:2 in
+  Alcotest.(check (array int)) "with comm" [| 14; 8; 11; 4 |] blc;
+  check "critical path" 8 (Dag.critical_path_work g)
+
+let test_paths () =
+  let g = Test_util.diamond () in
+  check_bool "0->3" true (Dag.has_path g 0 3);
+  check_bool "3->0" false (Dag.has_path g 3 0);
+  check_bool "1->2" false (Dag.has_path g 1 2);
+  check_bool "reflexive" true (Dag.has_path g 1 1);
+  (* (0,1): alternative would need 0->2->..->1, absent. *)
+  check_bool "no alt 0->1" false (Dag.has_alternative_path g 0 1);
+  let g2 =
+    Dag.of_edges ~n:3 ~edges:[ (0, 1); (1, 2); (0, 2) ] ~work:[| 1; 1; 1 |]
+      ~comm:[| 1; 1; 1 |]
+  in
+  check_bool "alt 0->2 via 1" true (Dag.has_alternative_path g2 0 2);
+  check_bool "no alt 0->1" false (Dag.has_alternative_path g2 0 1)
+
+let test_induced_subgraph () =
+  let g = Test_util.diamond () in
+  let sub, old_ids = Dag.induced_subgraph g [ 0; 1; 3 ] in
+  check "sub n" 3 (Dag.n sub);
+  check "sub edges" 2 (Dag.num_edges sub);
+  Alcotest.(check (array int)) "id map" [| 0; 1; 3 |] old_ids;
+  check "weights carried" 4 (Dag.work sub 2)
+
+let test_largest_component () =
+  (* Two components: a 3-chain and an isolated pair. *)
+  let g =
+    Dag.of_edges ~n:5 ~edges:[ (0, 1); (1, 2); (3, 4) ] ~work:(Array.make 5 1)
+      ~comm:(Array.make 5 1)
+  in
+  let cc, old_ids = Dag.largest_weakly_connected_component g in
+  check "cc size" 3 (Dag.n cc);
+  Alcotest.(check (array int)) "cc nodes" [| 0; 1; 2 |] old_ids
+
+let test_paper_weights () =
+  let g = Test_util.diamond () in
+  let w = Dag.assign_paper_weights g in
+  check "source w" 1 (Dag.work w 0);
+  check "indeg1 w" 0 (Dag.work w 1);
+  check "indeg2 w" 1 (Dag.work w 3);
+  check "comm all 1" 1 (Dag.comm w 2)
+
+let test_builder () =
+  let b = Dag_builder.create () in
+  let a = Dag_builder.add_node b ~work:2 ~comm:3 in
+  let c = Dag_builder.add_node b ~work:1 ~comm:1 in
+  Dag_builder.add_edge b a c;
+  Dag_builder.set_work b c 7;
+  let g = Dag_builder.finish b in
+  check "n" 2 (Dag.n g);
+  check "override" 7 (Dag.work g c);
+  check "kept" 2 (Dag.work g a);
+  Alcotest.check_raises "builder self loop" (Invalid_argument "Dag_builder.add_edge: self-loop")
+    (fun () -> Dag_builder.add_edge b a a)
+
+let test_hyperdag_roundtrip () =
+  let g = Test_util.diamond () in
+  let g2 = Hyperdag_io.of_string (Hyperdag_io.to_string g) in
+  check "n" (Dag.n g) (Dag.n g2);
+  Alcotest.(check (list (pair int int))) "edges" (Dag.edges g) (Dag.edges g2);
+  check "work preserved" (Dag.work g 2) (Dag.work g2 2);
+  check "comm preserved" (Dag.comm g 2) (Dag.comm g2 2)
+
+let test_hyperdag_parse_errors () =
+  Alcotest.check_raises "empty" (Failure "Hyperdag_io: empty input") (fun () ->
+      ignore (Hyperdag_io.of_string "% only comments\n"));
+  (try
+     ignore (Hyperdag_io.of_string "1 2 2\n0 0\n0 5\n0 1 1\n1 1 1\n");
+     Alcotest.fail "out-of-range pin accepted"
+   with Failure _ -> ())
+
+let test_is_acyclic_edges () =
+  check_bool "acyclic" true (Dag.is_acyclic_edges ~n:3 [ (0, 1); (1, 2) ]);
+  check_bool "cyclic" false (Dag.is_acyclic_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ])
+
+(* Property: topological order is a permutation respecting all edges. *)
+let prop_topo_valid =
+  Test_util.qtest "topological order valid" (Test_util.arb_dag ()) (fun g ->
+      let order = Dag.topological_order g in
+      let rank = Dag.topological_rank g in
+      Array.length order = Dag.n g
+      && Array.for_all (fun v -> order.(rank.(v)) = v) (Array.init (Dag.n g) Fun.id)
+      &&
+      let ok = ref true in
+      Dag.iter_edges g (fun u v -> if rank.(u) >= rank.(v) then ok := false);
+      !ok)
+
+(* Property: has_path agrees with a naive transitive closure. *)
+let prop_has_path =
+  Test_util.qtest ~count:50 "has_path matches closure" (Test_util.arb_dag ~max_n:14 ())
+    (fun g ->
+      let n = Dag.n g in
+      let reach = Array.make_matrix n n false in
+      for v = 0 to n - 1 do
+        reach.(v).(v) <- true
+      done;
+      let order = Dag.topological_order g in
+      for i = n - 1 downto 0 do
+        let u = order.(i) in
+        Array.iter
+          (fun w ->
+            for x = 0 to n - 1 do
+              if reach.(w).(x) then reach.(u).(x) <- true
+            done)
+          (Dag.succ g u)
+      done;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Dag.has_path g u v <> reach.(u).(v) then ok := false
+        done
+      done;
+      !ok)
+
+(* Property: hyperDAG serialisation round-trips structure and weights. *)
+let prop_roundtrip =
+  Test_util.qtest "hyperdag roundtrip" (Test_util.arb_dag ()) (fun g ->
+      let g2 = Hyperdag_io.of_string (Hyperdag_io.to_string g) in
+      Dag.n g = Dag.n g2
+      && Dag.edges g = Dag.edges g2
+      && Array.for_all
+           (fun v -> Dag.work g v = Dag.work g2 v && Dag.comm g v = Dag.comm g2 v)
+           (Array.init (Dag.n g) Fun.id))
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic accessors" `Quick test_basic_accessors;
+          Alcotest.test_case "duplicate edges collapse" `Quick test_duplicate_edges_collapse;
+          Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+          Alcotest.test_case "self-loop rejected" `Quick test_self_loop_rejected;
+          Alcotest.test_case "negative weight rejected" `Quick test_negative_weight_rejected;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "wavefronts" `Quick test_wavefronts;
+          Alcotest.test_case "bottom level" `Quick test_bottom_level;
+          Alcotest.test_case "paths" `Quick test_paths;
+          Alcotest.test_case "induced subgraph" `Quick test_induced_subgraph;
+          Alcotest.test_case "largest component" `Quick test_largest_component;
+          Alcotest.test_case "paper weights" `Quick test_paper_weights;
+          Alcotest.test_case "builder" `Quick test_builder;
+          Alcotest.test_case "hyperdag roundtrip" `Quick test_hyperdag_roundtrip;
+          Alcotest.test_case "hyperdag parse errors" `Quick test_hyperdag_parse_errors;
+          Alcotest.test_case "is_acyclic_edges" `Quick test_is_acyclic_edges;
+        ] );
+      ("property", [ prop_topo_valid; prop_has_path; prop_roundtrip ]);
+    ]

@@ -1,0 +1,168 @@
+let check_bool = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+let test_sparse_matrix_basic () =
+  let rng = Rng.create 2 in
+  let a = Sparse_matrix.random rng ~n:20 ~q:0.2 in
+  check "n" 20 (Sparse_matrix.n a);
+  check_bool "no empty rows" true
+    (List.for_all (fun i -> Array.length (Sparse_matrix.row a i) > 0) (List.init 20 Fun.id));
+  (* Column index consistent with rows. *)
+  let ok = ref true in
+  for i = 0 to 19 do
+    Array.iter
+      (fun j ->
+        if not (Array.exists (fun i' -> i' = i) (Sparse_matrix.col a j)) then ok := false)
+      (Sparse_matrix.row a i)
+  done;
+  check_bool "col index consistent" true !ok
+
+let test_sparse_matrix_symmetric () =
+  let rng = Rng.create 4 in
+  let a = Sparse_matrix.random_symmetric rng ~n:15 ~q:0.3 in
+  let ok = ref true in
+  for i = 0 to 14 do
+    if not (Sparse_matrix.mem a i i) then ok := false;
+    Array.iter (fun j -> if not (Sparse_matrix.mem a j i) then ok := false)
+      (Sparse_matrix.row a i)
+  done;
+  check_bool "symmetric with full diagonal" true !ok
+
+let test_of_rows_validation () =
+  (try
+     ignore (Sparse_matrix.of_rows ~n:2 [| [ 0; 5 ]; [] |]);
+     Alcotest.fail "out of range accepted"
+   with Invalid_argument _ -> ())
+
+let test_spmv_structure () =
+  (* Dense 2x2 matrix: 4 a_ij + 2 u_j sources, 4 multiplies, 2 row sums. *)
+  let a = Sparse_matrix.of_rows ~n:2 [| [ 0; 1 ]; [ 0; 1 ] |] in
+  let dag = Finegrained.spmv a in
+  check "nodes" 12 (Dag.n dag);
+  check "3 wavefronts" 3 (Dag.num_wavefronts dag);
+  (* Weight rule: sources 1; multiplies indeg 2 -> 1; sums indeg 2 -> 1. *)
+  Array.iter
+    (fun v ->
+      let expected = if Dag.in_degree dag v = 0 then 1 else Dag.in_degree dag v - 1 in
+      check "paper weight" expected (Dag.work dag v);
+      check "comm weight" 1 (Dag.comm dag v))
+    (Array.init (Dag.n dag) Fun.id)
+
+let test_exp_depth_grows () =
+  let rng = Rng.create 5 in
+  let a = Sparse_matrix.random rng ~n:10 ~q:0.2 in
+  let d1 = Finegrained.exp a ~k:1 in
+  let d3 = Finegrained.exp a ~k:3 in
+  check_bool "more nodes" true (Dag.n d3 > Dag.n d1);
+  check_bool "deeper" true (Dag.num_wavefronts d3 > Dag.num_wavefronts d1)
+
+let test_cg_valid_dag () =
+  let rng = Rng.create 6 in
+  let a = Sparse_matrix.random_symmetric rng ~n:8 ~q:0.3 in
+  let dag = Finegrained.cg a ~k:2 in
+  check_bool "nontrivial" true (Dag.n dag > 30);
+  (* Validated acyclic by construction (Dag.of_edges); check weights. *)
+  Array.iter
+    (fun v ->
+      let expected = if Dag.in_degree dag v = 0 then 1 else Dag.in_degree dag v - 1 in
+      check "paper weight" expected (Dag.work dag v))
+    (Array.init (Dag.n dag) Fun.id)
+
+let test_knn_frontier_spreads () =
+  let rng = Rng.create 7 in
+  let a = Sparse_matrix.random rng ~n:12 ~q:0.25 in
+  let dag = Finegrained.knn (Rng.create 1) a ~k:3 in
+  check_bool "grows beyond seed" true (Dag.n dag > 4)
+
+let test_generate_sized_accuracy () =
+  let rng = Rng.create 8 in
+  List.iter
+    (fun (family, target) ->
+      let dag =
+        Finegrained.generate_sized (Rng.split rng) ~family ~shape:Finegrained.Wide ~target
+      in
+      let n = Dag.n dag in
+      check_bool
+        (Printf.sprintf "%s target %d got %d" (Finegrained.family_name family) target n)
+        true
+        (float_of_int n > 0.5 *. float_of_int target
+        && float_of_int n < 2.0 *. float_of_int target))
+    [
+      (Finegrained.Spmv, 100);
+      (Finegrained.Exp, 300);
+      (Finegrained.Cg, 400);
+      (Finegrained.Knn, 200);
+    ]
+
+let test_coarse_generators () =
+  List.iter
+    (fun algo ->
+      let dag = Coarsegrained.generate algo ~iterations:5 in
+      check_bool "nontrivial" true (Dag.n dag > 5);
+      (* Iterative structure: depth grows with iterations. *)
+      let deep = Coarsegrained.generate algo ~iterations:10 in
+      check_bool "depth grows" true (Dag.num_wavefronts deep > Dag.num_wavefronts dag);
+      let sized = Coarsegrained.generate_sized algo ~target:200 in
+      check_bool "sized near target" true (abs (Dag.n sized - 200) < 60))
+    Coarsegrained.all_algorithms
+
+let test_datasets_smoke () =
+  let t = Datasets.tiny ~scale:Datasets.Smoke ~seed:1 in
+  check_bool "has instances" true (List.length t.Datasets.instances >= 4);
+  List.iter
+    (fun inst ->
+      check_bool
+        (Printf.sprintf "instance %s acyclic-nontrivial" inst.Datasets.name)
+        true
+        (Dag.n inst.Datasets.dag > 10))
+    t.Datasets.instances;
+  let tr = Datasets.training ~scale:Datasets.Smoke ~seed:1 in
+  check "training count" 10 (List.length tr.Datasets.instances)
+
+let test_datasets_deterministic () =
+  let a = Datasets.small ~scale:Datasets.Smoke ~seed:5 in
+  let b = Datasets.small ~scale:Datasets.Smoke ~seed:5 in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) "same names" x.Datasets.name y.Datasets.name;
+      check "same sizes" (Dag.n x.Datasets.dag) (Dag.n y.Datasets.dag))
+    a.Datasets.instances b.Datasets.instances
+
+let test_dataset_size_ordering () =
+  let seed = 3 in
+  let scale = Datasets.Smoke in
+  let avg ds =
+    let sizes = List.map (fun i -> Dag.n i.Datasets.dag) ds.Datasets.instances in
+    List.fold_left ( + ) 0 sizes / List.length sizes
+  in
+  let t = avg (Datasets.tiny ~scale ~seed) in
+  let s = avg (Datasets.small ~scale ~seed) in
+  let m = avg (Datasets.medium ~scale ~seed) in
+  check_bool "tiny < small" true (t < s);
+  check_bool "small < medium" true (s < m)
+
+let () =
+  Alcotest.run "generators"
+    [
+      ( "sparse",
+        [
+          Alcotest.test_case "random" `Quick test_sparse_matrix_basic;
+          Alcotest.test_case "symmetric" `Quick test_sparse_matrix_symmetric;
+          Alcotest.test_case "of_rows validation" `Quick test_of_rows_validation;
+        ] );
+      ( "finegrained",
+        [
+          Alcotest.test_case "spmv structure" `Quick test_spmv_structure;
+          Alcotest.test_case "exp depth" `Quick test_exp_depth_grows;
+          Alcotest.test_case "cg dag" `Quick test_cg_valid_dag;
+          Alcotest.test_case "knn frontier" `Quick test_knn_frontier_spreads;
+          Alcotest.test_case "sized generation" `Quick test_generate_sized_accuracy;
+        ] );
+      ("coarse", [ Alcotest.test_case "all algorithms" `Quick test_coarse_generators ]);
+      ( "datasets",
+        [
+          Alcotest.test_case "smoke datasets" `Quick test_datasets_smoke;
+          Alcotest.test_case "deterministic" `Quick test_datasets_deterministic;
+          Alcotest.test_case "size ordering" `Quick test_dataset_size_ordering;
+        ] );
+    ]

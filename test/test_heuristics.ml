@@ -1,0 +1,106 @@
+let check_bool = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+let test_bspg_diamond () =
+  let dag = Test_util.diamond () in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:1 in
+  let s = Bspg.schedule m dag in
+  check_bool "valid" true (Validity.is_valid m s);
+  (* All four nodes must be assigned. *)
+  Array.iter (fun q -> check_bool "assigned" true (q >= 0)) s.Schedule.proc
+
+let test_bspg_single_proc () =
+  let dag = Test_util.chain 5 in
+  let m = Machine.uniform ~p:1 ~g:1 ~l:5 in
+  let s = Bspg.schedule m dag in
+  check "single superstep" 1 (Schedule.num_supersteps s);
+  check "cost = work + l" (5 + 5) (Bsp_cost.total m s)
+
+let test_bspg_independent_nodes_balanced () =
+  (* 8 equal independent nodes on 4 processors: a single superstep with
+     balanced work is reachable greedily. *)
+  let dag =
+    Dag.of_edges ~n:8 ~edges:[] ~work:(Array.make 8 3) ~comm:(Array.make 8 1)
+  in
+  let m = Machine.uniform ~p:4 ~g:1 ~l:2 in
+  let s = Bspg.schedule m dag in
+  check "one superstep" 1 (Schedule.num_supersteps s);
+  check "cost" (6 + 2) (Bsp_cost.total m s)
+
+let test_source_first_superstep_clusters () =
+  (* Sources 0 and 1 share the successor 2; source 3 is independent with
+     successor 4. Clustering must co-locate 0 and 1. *)
+  let dag =
+    Dag.of_edges ~n:5
+      ~edges:[ (0, 2); (1, 2); (3, 4) ]
+      ~work:(Array.make 5 1) ~comm:(Array.make 5 1)
+  in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:1 in
+  let s = Source_heuristic.schedule m dag in
+  check_bool "valid" true (Validity.is_valid m s);
+  check "clustered" s.Schedule.proc.(0) s.Schedule.proc.(1)
+
+let test_source_absorbs_successors () =
+  (* On a chain, each superstep absorbs exactly one direct successor of
+     its source (absorption does not cascade further), so a 6-chain
+     needs 3 supersteps of two processor-local nodes each instead of 6
+     singleton supersteps. *)
+  let dag = Test_util.chain 6 in
+  let m = Machine.uniform ~p:4 ~g:1 ~l:1 in
+  let s = Source_heuristic.schedule m dag in
+  check "three supersteps" 3 (Schedule.num_supersteps s);
+  check "pairs co-located" s.Schedule.proc.(0) s.Schedule.proc.(1);
+  check "pairs co-located" s.Schedule.proc.(2) s.Schedule.proc.(3)
+
+let test_source_round_robin_balances () =
+  let dag =
+    Dag.of_edges ~n:6 ~edges:[] ~work:[| 6; 5; 4; 3; 2; 1 |] ~comm:(Array.make 6 1)
+  in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:0 in
+  let s = Source_heuristic.schedule m dag in
+  (* Clustering is trivial (no shared successors): round-robin by
+     decreasing weight gives loads 6+4+2 vs 5+3+1 -> work max 12. *)
+  check "balanced-ish" 12 (Bsp_cost.total m s)
+
+(* Properties: both heuristics always produce valid schedules, and
+   assign every node exactly once. *)
+let prop_heuristics_valid =
+  Test_util.qtest ~count:80 "heuristics valid"
+    QCheck2.Gen.(pair (Test_util.arb_dag ()) (Test_util.arb_machine ()))
+    (fun (dag, m) ->
+      let check_sched s =
+        Validity.is_valid m s
+        && Array.for_all (fun q -> q >= 0 && q < m.Machine.p) s.Schedule.proc
+        && Array.for_all (fun st -> st >= 0) s.Schedule.step
+      in
+      check_sched (Bspg.schedule m dag) && check_sched (Source_heuristic.schedule m dag))
+
+(* BSPg should never be worse than executing everything sequentially
+   with a superstep per node (a very weak but absolute sanity bound). *)
+let prop_bspg_sane_cost =
+  Test_util.qtest ~count:60 "bspg cost sane"
+    QCheck2.Gen.(pair (Test_util.arb_dag ()) (Test_util.arb_machine ()))
+    (fun (dag, m) ->
+      let s = Bspg.schedule m dag in
+      let worst = Dag.total_work dag + (Dag.n dag * m.Machine.l) + (m.Machine.g * Dag.total_comm dag * Machine.max_lambda m * m.Machine.p) in
+      Bsp_cost.total m s <= max worst 1)
+
+let () =
+  Alcotest.run "heuristics"
+    [
+      ( "bspg",
+        [
+          Alcotest.test_case "diamond" `Quick test_bspg_diamond;
+          Alcotest.test_case "single processor" `Quick test_bspg_single_proc;
+          Alcotest.test_case "independent nodes balanced" `Quick
+            test_bspg_independent_nodes_balanced;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "first superstep clusters" `Quick
+            test_source_first_superstep_clusters;
+          Alcotest.test_case "absorbs successors" `Quick test_source_absorbs_successors;
+          Alcotest.test_case "round robin balances" `Quick test_source_round_robin_balances;
+        ] );
+      ("property", [ prop_heuristics_valid; prop_bspg_sane_cost ]);
+    ]

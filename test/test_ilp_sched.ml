@@ -1,0 +1,136 @@
+let check_bool = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+let budget () = Budget.combine (Budget.steps 400) (Budget.seconds 10.0)
+
+let small_machine = Machine.uniform ~p:2 ~g:2 ~l:3
+
+let small_instance seed =
+  let rng = Rng.create seed in
+  Finegrained.spmv (Sparse_matrix.random rng ~n:5 ~q:0.3)
+
+let test_full_improves_or_keeps () =
+  let dag = small_instance 11 in
+  let m = small_machine in
+  let init = Bspg.schedule m dag in
+  let improved, report =
+    Ilp_schedulers.full ~budget:(budget ()) ~max_vars:2000 ~max_nodes:400 m init
+  in
+  check_bool "valid" true (Validity.is_valid m improved);
+  check_bool "never worse" true
+    (report.Ilp_schedulers.cost_after <= report.Ilp_schedulers.cost_before);
+  check_bool "solved something" true (report.Ilp_schedulers.sub_solves = 1)
+
+let test_full_gate_on_size () =
+  let dag = small_instance 11 in
+  let m = small_machine in
+  let init = Bspg.schedule m dag in
+  let same, report = Ilp_schedulers.full ~max_vars:10 m init in
+  check "no solves" 0 report.Ilp_schedulers.sub_solves;
+  check_bool "unchanged" true (same == init)
+
+let test_part_monotone () =
+  let rng = Rng.create 23 in
+  let dag = Finegrained.exp (Sparse_matrix.random rng ~n:8 ~q:0.2) ~k:2 in
+  let m = small_machine in
+  let init = Bspg.schedule m dag in
+  let improved, report =
+    Ilp_schedulers.part ~budget:(budget ()) ~max_vars:200 ~max_nodes:120 m init
+  in
+  check_bool "valid" true (Validity.is_valid m improved);
+  check_bool "never worse" true
+    (report.Ilp_schedulers.cost_after <= report.Ilp_schedulers.cost_before);
+  check_bool "covered intervals" true (report.Ilp_schedulers.sub_solves >= 1)
+
+let test_init_valid () =
+  let dag = small_instance 7 in
+  let m = small_machine in
+  let s = Ilp_schedulers.init ~budget:(budget ()) ~max_vars:160 ~max_nodes:120 m dag in
+  check_bool "valid" true (Validity.is_valid m s);
+  check_bool "all assigned" true (Array.for_all (fun q -> q >= 0) s.Schedule.proc)
+
+let test_init_zero_budget_fallback () =
+  (* With an exhausted budget every batch falls back; the result is the
+     trivial-per-batch schedule, still valid. *)
+  let dag = small_instance 7 in
+  let m = small_machine in
+  let s = Ilp_schedulers.init ~budget:(Budget.steps 0) m dag in
+  check_bool "valid" true (Validity.is_valid m s)
+
+let test_comm_schedule_monotone () =
+  let rng = Rng.create 31 in
+  let dag = Finegrained.exp (Sparse_matrix.random rng ~n:10 ~q:0.2) ~k:3 in
+  let m = Machine.uniform ~p:4 ~g:3 ~l:2 in
+  let level = Dag.wavefronts dag in
+  let proc = Array.init (Dag.n dag) (fun v -> v mod 4) in
+  let sched = Schedule.of_assignment dag ~proc ~step:level in
+  let improved, report =
+    Ilp_schedulers.comm_schedule ~budget:(budget ()) ~max_vars:300 ~max_nodes:300 m sched
+  in
+  check_bool "valid" true (Validity.is_valid m improved);
+  check_bool "never worse" true
+    (report.Ilp_schedulers.cost_after <= report.Ilp_schedulers.cost_before)
+
+let test_comm_schedule_matches_hccs_space () =
+  (* On the HCcs unit example, ILPcs must find at least the same gain. *)
+  let dag =
+    Dag.of_edges ~n:6
+      ~edges:[ (0, 3); (1, 4); (2, 5) ]
+      ~work:(Array.make 6 1) ~comm:[| 4; 1; 4; 1; 1; 1 |]
+  in
+  let m = Machine.uniform ~p:4 ~g:2 ~l:1 in
+  let s =
+    Schedule.of_assignment dag ~proc:[| 0; 0; 2; 1; 1; 3 |] ~step:[| 0; 0; 0; 2; 2; 1 |]
+  in
+  let improved, report = Ilp_schedulers.comm_schedule ~budget:(budget ()) m s in
+  check_bool "valid" true (Validity.is_valid m improved);
+  check_bool "found the gain" true
+    (report.Ilp_schedulers.cost_before - report.Ilp_schedulers.cost_after >= 2)
+
+(* Property: the interval engine never invalidates or worsens a schedule
+   regardless of DAG/machine (acceptance is checked on true cost). *)
+let prop_part_safe =
+  Test_util.qtest ~count:25 "ilppart safe"
+    QCheck2.Gen.(pair (Test_util.arb_dag ~max_n:14 ()) (pair (Test_util.arb_machine ~max_p:4 ()) (int_bound 10_000)))
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let level = Dag.wavefronts dag in
+      let proc = Array.init (Dag.n dag) (fun _ -> Rng.int rng m.Machine.p) in
+      let s = Schedule.of_assignment dag ~proc ~step:level in
+      let improved, report =
+        Ilp_schedulers.part ~budget:(Budget.steps 60) ~max_vars:150 ~max_nodes:40 m s
+      in
+      Validity.is_valid m improved
+      && report.Ilp_schedulers.cost_after <= report.Ilp_schedulers.cost_before)
+
+let prop_comm_schedule_safe =
+  Test_util.qtest ~count:25 "ilpcs safe"
+    QCheck2.Gen.(pair (Test_util.arb_dag ~max_n:16 ()) (pair (Test_util.arb_machine ~max_p:4 ()) (int_bound 10_000)))
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let level = Dag.wavefronts dag in
+      let proc = Array.init (Dag.n dag) (fun _ -> Rng.int rng m.Machine.p) in
+      let s = Schedule.of_assignment dag ~proc ~step:level in
+      let improved, report =
+        Ilp_schedulers.comm_schedule ~budget:(Budget.steps 80) ~max_vars:120
+          ~max_nodes:60 m s
+      in
+      Validity.is_valid m improved
+      && report.Ilp_schedulers.cost_after <= report.Ilp_schedulers.cost_before)
+
+let () =
+  Alcotest.run "ilp_sched"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "ilpfull improves or keeps" `Quick test_full_improves_or_keeps;
+          Alcotest.test_case "ilpfull size gate" `Quick test_full_gate_on_size;
+          Alcotest.test_case "ilppart monotone" `Quick test_part_monotone;
+          Alcotest.test_case "ilpinit valid" `Quick test_init_valid;
+          Alcotest.test_case "ilpinit fallback" `Quick test_init_zero_budget_fallback;
+          Alcotest.test_case "ilpcs monotone" `Quick test_comm_schedule_monotone;
+          Alcotest.test_case "ilpcs finds hccs gain" `Quick
+            test_comm_schedule_matches_hccs_space;
+        ] );
+      ("property", [ prop_part_safe; prop_comm_schedule_safe ]);
+    ]

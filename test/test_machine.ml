@@ -1,0 +1,73 @@
+let check = Alcotest.(check int)
+
+let test_uniform () =
+  let m = Machine.uniform ~p:4 ~g:2 ~l:5 in
+  check "p" 4 m.Machine.p;
+  check "g" 2 m.Machine.g;
+  check "l" 5 m.Machine.l;
+  check "diag" 0 (Machine.lambda m 2 2);
+  check "off-diag" 1 (Machine.lambda m 0 3);
+  Alcotest.(check bool) "uniform" true (Machine.is_uniform m);
+  Alcotest.(check (float 1e-9)) "avg" 1.0 (Machine.average_lambda m)
+
+let test_numa_tree_p8_delta3 () =
+  (* The paper's example (Section 6): with P=8 and delta=3, costs from
+     processor 0 are 1 to proc 1, 3 to procs 2-3, 9 to procs 4-7. *)
+  let m = Machine.numa_tree ~p:8 ~g:1 ~l:5 ~delta:3 in
+  check "sibling" 1 (Machine.lambda m 0 1);
+  check "level2 a" 3 (Machine.lambda m 0 2);
+  check "level2 b" 3 (Machine.lambda m 0 3);
+  check "level3 a" 9 (Machine.lambda m 0 4);
+  check "level3 b" 9 (Machine.lambda m 0 7);
+  check "diag" 0 (Machine.lambda m 5 5);
+  check "symmetric" (Machine.lambda m 3 6) (Machine.lambda m 6 3);
+  check "max" 9 (Machine.max_lambda m);
+  Alcotest.(check bool) "not uniform" false (Machine.is_uniform m)
+
+let test_numa_tree_p16_delta4 () =
+  (* lambda_{1,16} = delta^(log2 P - 1) = 4^3 = 64 (Section 7.3 / C.4). *)
+  let m = Machine.numa_tree ~p:16 ~g:1 ~l:5 ~delta:4 in
+  check "farthest" 64 (Machine.lambda m 0 15);
+  check "nearest" 1 (Machine.lambda m 0 1)
+
+let test_numa_tree_delta1_is_uniform () =
+  let m = Machine.numa_tree ~p:4 ~g:1 ~l:0 ~delta:1 in
+  Alcotest.(check bool) "delta=1 uniform" true (Machine.is_uniform m)
+
+let test_explicit () =
+  let m = Machine.explicit ~g:1 ~l:0 ~lambda:[| [| 0; 5 |]; [| 2; 0 |] |] in
+  check "asymmetric ok" 5 (Machine.lambda m 0 1);
+  check "asymmetric ok rev" 2 (Machine.lambda m 1 0);
+  Alcotest.(check (float 1e-9)) "avg" 3.5 (Machine.average_lambda m)
+
+let test_validation () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "p=0" true (raises (fun () -> ignore (Machine.uniform ~p:0 ~g:1 ~l:1)));
+  Alcotest.(check bool) "neg g" true (raises (fun () -> ignore (Machine.uniform ~p:2 ~g:(-1) ~l:1)));
+  Alcotest.(check bool) "non-pow2 tree" true
+    (raises (fun () -> ignore (Machine.numa_tree ~p:6 ~g:1 ~l:1 ~delta:2)));
+  Alcotest.(check bool) "nonzero diag" true
+    (raises (fun () -> ignore (Machine.explicit ~g:1 ~l:0 ~lambda:[| [| 1 |] |])));
+  Alcotest.(check bool) "ragged" true
+    (raises (fun () -> ignore (Machine.explicit ~g:1 ~l:0 ~lambda:[| [| 0; 1 |]; [| 1 |] |])))
+
+let test_avg_lambda_tree () =
+  (* P=8, delta=3: per processor 1 sibling at 1, 2 at 3, 4 at 9 ->
+     avg = (1 + 6 + 36) / 7. *)
+  let m = Machine.numa_tree ~p:8 ~g:1 ~l:5 ~delta:3 in
+  Alcotest.(check (float 1e-9)) "avg" (43.0 /. 7.0) (Machine.average_lambda m)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "numa tree p8 d3" `Quick test_numa_tree_p8_delta3;
+          Alcotest.test_case "numa tree p16 d4" `Quick test_numa_tree_p16_delta4;
+          Alcotest.test_case "delta1 uniform" `Quick test_numa_tree_delta1_is_uniform;
+          Alcotest.test_case "explicit" `Quick test_explicit;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "avg lambda tree" `Quick test_avg_lambda_tree;
+        ] );
+    ]

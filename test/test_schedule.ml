@@ -1,0 +1,199 @@
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A two-superstep example in the spirit of Figure 1: two processors
+   compute in superstep 0, exchange values in its communication phase,
+   and finish in superstep 1.
+
+     proc 0, step 0: node 0 (w=2), node 1 (w=3)
+     proc 1, step 0: node 2 (w=1, c=2), node 3 (w=1)
+     proc 0, step 1: node 4 (w=2), preds 1 and 2   (2 crosses 1 -> 0)
+     proc 1, step 1: node 5 (w=4), preds 3 and 0   (0 crosses 0 -> 1) *)
+let example () =
+  let dag =
+    Dag.of_edges ~n:6
+      ~edges:[ (1, 4); (2, 4); (3, 5); (0, 5) ]
+      ~work:[| 2; 3; 1; 1; 2; 4 |] ~comm:[| 1; 1; 2; 1; 1; 1 |]
+  in
+  Schedule.of_assignment dag ~proc:[| 0; 0; 1; 1; 0; 1 |] ~step:[| 0; 0; 0; 0; 1; 1 |]
+
+let test_example_cost_uniform () =
+  let s = example () in
+  let m = Machine.uniform ~p:2 ~g:3 ~l:5 in
+  check_bool "valid" true (Validity.is_valid m s);
+  (* Superstep 0: work max(5,2)=5; h-relation: proc0 sends 1 / receives 2,
+     proc1 sends 2 / receives 1 -> max 2; cost 5 + 3*2 + 5 = 16.
+     Superstep 1: work max(2,4)=4, no comm -> 4 + 0 + 5 = 9. *)
+  let b = Bsp_cost.breakdown m s in
+  check "supersteps" 2 (Array.length b.Bsp_cost.supersteps);
+  check "s0 work" 5 b.Bsp_cost.supersteps.(0).Bsp_cost.work_max;
+  check "s0 comm" 2 b.Bsp_cost.supersteps.(0).Bsp_cost.comm_max;
+  check "s0 cost" 16 b.Bsp_cost.supersteps.(0).Bsp_cost.cost;
+  check "s1 cost" 9 b.Bsp_cost.supersteps.(1).Bsp_cost.cost;
+  check "total" 25 b.Bsp_cost.total;
+  check "latency part" 10 b.Bsp_cost.latency_total
+
+let test_example_cost_numa () =
+  let s = example () in
+  (* Asymmetric coefficients: 0 -> 1 costs 2 per unit, 1 -> 0 costs 3.
+     Volumes: node 0 (c=1) goes 0 -> 1: 2; node 2 (c=2) goes 1 -> 0: 6.
+     h = max over procs of max(send, recv) = 6; s0 = 5 + 3*6 + 5 = 28. *)
+  let m = Machine.explicit ~g:3 ~l:5 ~lambda:[| [| 0; 2 |]; [| 3; 0 |] |] in
+  check_bool "valid" true (Validity.is_valid m s);
+  check "total with NUMA" 37 (Bsp_cost.total m s)
+
+let test_trivial () =
+  let dag = Test_util.diamond () in
+  let m = Machine.uniform ~p:4 ~g:2 ~l:7 in
+  let s = Schedule.trivial dag in
+  check_bool "valid" true (Validity.is_valid m s);
+  check "cost = total work + l" (10 + 7) (Bsp_cost.total m s)
+
+let test_lazy_comm_dedup () =
+  (* u is consumed on proc 1 at steps 2 and 4: one event, at phase 1. *)
+  let dag =
+    Dag.of_edges ~n:3 ~edges:[ (0, 1); (0, 2) ] ~work:[| 1; 1; 1 |] ~comm:[| 5; 1; 1 |]
+  in
+  let comm = Schedule.lazy_comm dag ~proc:[| 0; 1; 1 |] ~step:[| 0; 2; 4 |] in
+  check "one event" 1 (List.length comm);
+  let e = List.hd comm in
+  check "node" 0 e.Schedule.node;
+  check "phase = first need - 1" 1 e.Schedule.step;
+  check "src" 0 e.Schedule.src;
+  check "dst" 1 e.Schedule.dst
+
+let test_assignment_validity () =
+  let dag = Test_util.chain 2 in
+  check_bool "same proc same step ok" true
+    (Schedule.assignment_valid dag ~proc:[| 0; 0 |] ~step:[| 0; 0 |]);
+  check_bool "same proc backwards bad" false
+    (Schedule.assignment_valid dag ~proc:[| 0; 0 |] ~step:[| 1; 0 |]);
+  check_bool "cross same step bad" false
+    (Schedule.assignment_valid dag ~proc:[| 0; 1 |] ~step:[| 0; 0 |]);
+  check_bool "cross later ok" true
+    (Schedule.assignment_valid dag ~proc:[| 0; 1 |] ~step:[| 0; 1 |])
+
+let test_validity_missing_event () =
+  let dag = Test_util.chain 2 in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:1 in
+  (* Cross-processor edge with an empty communication schedule. *)
+  let s = Schedule.make dag ~proc:[| 0; 1 |] ~step:[| 0; 1 |] ~comm:[] in
+  check_bool "invalid" false (Validity.is_valid m s);
+  check "one error" 1 (List.length (Validity.errors m s))
+
+let test_validity_late_event () =
+  let dag = Test_util.chain 2 in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:1 in
+  (* Delivery in phase 1 is too late for a consumer in superstep 1. *)
+  let s =
+    Schedule.make dag ~proc:[| 0; 1 |] ~step:[| 0; 1 |]
+      ~comm:[ { Schedule.node = 0; src = 0; dst = 1; step = 1 } ]
+  in
+  check_bool "invalid" false (Validity.is_valid m s)
+
+let test_validity_send_from_absent () =
+  let dag = Test_util.chain 2 in
+  let m = Machine.uniform ~p:3 ~g:1 ~l:1 in
+  (* Node 0 lives on proc 0 but the event claims proc 2 sends it. *)
+  let s =
+    Schedule.make dag ~proc:[| 0; 1 |] ~step:[| 0; 1 |]
+      ~comm:[ { Schedule.node = 0; src = 2; dst = 1; step = 0 } ]
+  in
+  check_bool "invalid" false (Validity.is_valid m s)
+
+let test_validity_relay_chain () =
+  (* 0 computed on p0 step 0; relayed p0 -> p1 (phase 0), p1 -> p2
+     (phase 1); consumer on p2 at step 2. Valid per Section 3.2. *)
+  let dag = Test_util.chain 2 in
+  let m = Machine.uniform ~p:3 ~g:1 ~l:1 in
+  let s =
+    Schedule.make dag ~proc:[| 0; 2 |] ~step:[| 0; 2 |]
+      ~comm:
+        [
+          { Schedule.node = 0; src = 0; dst = 1; step = 0 };
+          { Schedule.node = 0; src = 1; dst = 2; step = 1 };
+        ]
+  in
+  check_bool "relay valid" true (Validity.is_valid m s);
+  (* Breaking the chain order invalidates it. *)
+  let bad =
+    Schedule.make dag ~proc:[| 0; 2 |] ~step:[| 0; 2 |]
+      ~comm:
+        [
+          { Schedule.node = 0; src = 0; dst = 1; step = 1 };
+          { Schedule.node = 0; src = 1; dst = 2; step = 1 };
+        ]
+  in
+  check_bool "broken relay invalid" false (Validity.is_valid m bad)
+
+let test_compact () =
+  let dag = Test_util.chain 2 in
+  let s = Schedule.of_assignment dag ~proc:[| 0; 0 |] ~step:[| 0; 2 |] in
+  let c = Schedule.compact s in
+  Alcotest.(check (array int)) "renumbered" [| 0; 1 |] c.Schedule.step;
+  check "used" 2 (Schedule.used_supersteps s);
+  check "supersteps after" 2 (Schedule.num_supersteps c);
+  let m = Machine.uniform ~p:2 ~g:1 ~l:5 in
+  check_bool "compact cheaper" true (Bsp_cost.total m c < Bsp_cost.total m s)
+
+let test_classical_conversion () =
+  let dag = Test_util.chain 3 in
+  let cl = { Classical.proc = [| 0; 1; 0 |]; seq = [| 0; 1; 2 |] } in
+  let s = Classical.to_bsp dag cl in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:1 in
+  check_bool "valid" true (Validity.is_valid m s);
+  Alcotest.(check (array int)) "supersteps" [| 0; 1; 2 |] s.Schedule.step;
+  (* Same processor throughout: everything lands in one superstep. *)
+  let cl2 = { Classical.proc = [| 0; 0; 0 |]; seq = [| 0; 1; 2 |] } in
+  let s2 = Classical.to_bsp dag cl2 in
+  check "single superstep" 1 (Schedule.num_supersteps s2);
+  check "makespan" 3 (Classical.makespan dag cl2)
+
+(* Property: for a random valid assignment, the lazy communication
+   schedule always yields a valid BSP schedule, and the incremental
+   tables of Bsp_cost agree with the breakdown. *)
+let prop_lazy_valid =
+  Test_util.qtest "lazy schedule valid"
+    QCheck2.Gen.(pair (Test_util.arb_dag ()) (pair (Test_util.arb_machine ()) (int_bound 10_000)))
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let p = m.Machine.p in
+      (* Random assignment: steps follow wavefront levels with random
+         gaps so that cross edges are always strictly increasing. *)
+      let level = Dag.wavefronts dag in
+      let proc = Array.init (Dag.n dag) (fun _ -> Rng.int rng p) in
+      let step = Array.map (fun l -> 2 * l) level in
+      let s = Schedule.of_assignment dag ~proc ~step in
+      Validity.is_valid m s)
+
+let prop_compact_never_worse =
+  Test_util.qtest "compact never increases cost"
+    QCheck2.Gen.(pair (Test_util.arb_dag ()) (pair (Test_util.arb_machine ()) (int_bound 10_000)))
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let level = Dag.wavefronts dag in
+      let proc = Array.init (Dag.n dag) (fun _ -> Rng.int rng m.Machine.p) in
+      let step = Array.map (fun l -> 3 * l) level in
+      let s = Schedule.of_assignment dag ~proc ~step in
+      let c = Schedule.compact s in
+      Validity.is_valid m c && Bsp_cost.total m c <= Bsp_cost.total m s)
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "figure-1 style cost" `Quick test_example_cost_uniform;
+          Alcotest.test_case "cost with NUMA" `Quick test_example_cost_numa;
+          Alcotest.test_case "trivial schedule" `Quick test_trivial;
+          Alcotest.test_case "lazy comm dedup" `Quick test_lazy_comm_dedup;
+          Alcotest.test_case "assignment validity" `Quick test_assignment_validity;
+          Alcotest.test_case "missing event" `Quick test_validity_missing_event;
+          Alcotest.test_case "late event" `Quick test_validity_late_event;
+          Alcotest.test_case "send from absent" `Quick test_validity_send_from_absent;
+          Alcotest.test_case "relay chain" `Quick test_validity_relay_chain;
+          Alcotest.test_case "compact" `Quick test_compact;
+          Alcotest.test_case "classical conversion" `Quick test_classical_conversion;
+        ] );
+      ("property", [ prop_lazy_valid; prop_compact_never_worse ]);
+    ]

@@ -1,0 +1,212 @@
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let x = Rng.int child 1_000_000 in
+  (* Re-deriving from the same parent state gives a different child. *)
+  let child2 = Rng.split parent in
+  check_bool "children differ" true (x <> Rng.int child2 1_000_000 || x <> Rng.int child2 1_000_000)
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    check_bool "in range" true (x >= 0 && x < 7);
+    let f = Rng.float rng 2.5 in
+    check_bool "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 50 do
+    check_bool "p=0 never" false (Rng.bernoulli rng 0.0);
+    check_bool "p=1 always" true (Rng.bernoulli rng 1.0)
+  done
+
+(* Budget *)
+
+let test_budget_steps () =
+  let b = Budget.steps 3 in
+  check_bool "1" true (Budget.tick b);
+  check_bool "2" true (Budget.tick b);
+  check_bool "3" true (Budget.tick b);
+  check_bool "exhausted" false (Budget.tick b);
+  check_bool "stays exhausted" true (Budget.exhausted b);
+  check "used" 3 (Budget.used_steps b)
+
+let test_budget_unlimited () =
+  for _ = 1 to 100 do
+    check_bool "never exhausted" true (Budget.tick Budget.unlimited)
+  done
+
+let test_budget_combine () =
+  let b = Budget.combine (Budget.steps 2) (Budget.steps 10) in
+  check_bool "1" true (Budget.tick b);
+  check_bool "2" true (Budget.tick b);
+  check_bool "first limits" false (Budget.tick b)
+
+let test_budget_deadline () =
+  let b = Budget.seconds 0.02 in
+  check_bool "fresh" false (Budget.exhausted b);
+  Unix.sleepf 0.05;
+  check_bool "expired" true (Budget.exhausted b)
+
+(* Deque *)
+
+let test_deque_lifo_fifo () =
+  let d = Deque.create () in
+  check_bool "empty" true (Deque.is_empty d);
+  List.iter (Deque.push_top d) [ 1; 2; 3; 4 ];
+  check "length" 4 (Deque.length d);
+  Alcotest.(check (option int)) "top" (Some 4) (Deque.pop_top d);
+  Alcotest.(check (option int)) "bottom" (Some 1) (Deque.pop_bottom d);
+  Alcotest.(check (option int)) "peek top" (Some 3) (Deque.peek_top d);
+  Alcotest.(check (option int)) "peek bottom" (Some 2) (Deque.peek_bottom d);
+  Alcotest.(check (option int)) "pop" (Some 3) (Deque.pop_top d);
+  Alcotest.(check (option int)) "pop" (Some 2) (Deque.pop_top d);
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop_top d);
+  Alcotest.(check (option int)) "empty pop bottom" None (Deque.pop_bottom d)
+
+let test_deque_growth_wraparound () =
+  let d = Deque.create () in
+  (* Force several growth cycles with mixed operations. *)
+  for round = 1 to 5 do
+    for i = 1 to 100 do
+      Deque.push_top d (round * 1000 + i)
+    done;
+    for _ = 1 to 50 do
+      ignore (Deque.pop_bottom d : int option)
+    done
+  done;
+  check "length" 250 (Deque.length d);
+  (* Drain and confirm count. *)
+  let count = ref 0 in
+  while not (Deque.is_empty d) do
+    ignore (Deque.pop_top d : int option);
+    incr count
+  done;
+  check "drained" 250 !count
+
+(* Statistics *)
+
+let test_statistics () =
+  Alcotest.(check (float 1e-9)) "geo" 4.0 (Statistics.geometric_mean [ 2.0; 8.0 ]);
+  Alcotest.(check (float 1e-9)) "geo singleton" 3.0 (Statistics.geometric_mean [ 3.0 ]);
+  check_bool "geo empty nan" true (Float.is_nan (Statistics.geometric_mean []));
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Statistics.mean [ 4.0; 6.0 ]);
+  Alcotest.(check (float 1e-9)) "reduction" 25.0 (Statistics.percent_reduction 0.75)
+
+(* Schedule_io *)
+
+let test_schedule_io_roundtrip () =
+  let dag = Test_util.diamond () in
+  let s =
+    Schedule.make dag ~proc:[| 0; 1; 0; 1 |] ~step:[| 0; 1; 0; 2 |]
+      ~comm:
+        [
+          { Schedule.node = 0; src = 0; dst = 1; step = 0 };
+          { Schedule.node = 2; src = 0; dst = 1; step = 1 };
+        ]
+  in
+  let s2 = Schedule_io.of_string dag (Schedule_io.to_string s) in
+  Alcotest.(check (array int)) "proc" s.Schedule.proc s2.Schedule.proc;
+  Alcotest.(check (array int)) "step" s.Schedule.step s2.Schedule.step;
+  check "events" 2 (List.length s2.Schedule.comm);
+  let m = Machine.uniform ~p:2 ~g:2 ~l:1 in
+  check "same cost" (Bsp_cost.total m s) (Bsp_cost.total m s2)
+
+let test_schedule_io_rejects_mismatch () =
+  let dag = Test_util.diamond () in
+  let other = Test_util.chain 3 in
+  let s = Schedule.trivial dag in
+  (try
+     ignore (Schedule_io.of_string other (Schedule_io.to_string s));
+     Alcotest.fail "node-count mismatch accepted"
+   with Failure _ -> ())
+
+(* Superstep_merge *)
+
+let test_superstep_merge_collapses_chain () =
+  (* A chain on one processor spread over many supersteps merges into
+     one. *)
+  let dag = Test_util.chain 5 in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:5 in
+  let s = Schedule.of_assignment dag ~proc:(Array.make 5 0) ~step:[| 0; 1; 2; 3; 4 |] in
+  let merged = Superstep_merge.greedy m s in
+  check "one superstep" 1 (Schedule.num_supersteps merged);
+  check_bool "valid" true (Validity.is_valid m merged)
+
+let test_superstep_merge_blocked_by_cross_edge () =
+  let dag = Test_util.chain 2 in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:5 in
+  let s = Schedule.of_assignment dag ~proc:[| 0; 1 |] ~step:[| 0; 1 |] in
+  let merged = Superstep_merge.greedy m s in
+  check "still two supersteps" 2 (Schedule.num_supersteps merged);
+  check_bool "valid" true (Validity.is_valid m merged)
+
+let prop_superstep_merge_never_worse =
+  Test_util.qtest ~count:60 "merge monotone"
+    QCheck2.Gen.(pair (Test_util.arb_dag ()) (pair (Test_util.arb_machine ()) (int_bound 10_000)))
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let level = Dag.wavefronts dag in
+      let proc = Array.init (Dag.n dag) (fun _ -> Rng.int rng m.Machine.p) in
+      let s = Schedule.of_assignment dag ~proc ~step:level in
+      let merged = Superstep_merge.greedy m s in
+      Validity.is_valid m merged && Bsp_cost.total m merged <= Bsp_cost.total m s)
+
+let () =
+  Alcotest.run "util_modules"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "steps" `Quick test_budget_steps;
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+          Alcotest.test_case "combine" `Quick test_budget_combine;
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "lifo/fifo" `Quick test_deque_lifo_fifo;
+          Alcotest.test_case "growth + wraparound" `Quick test_deque_growth_wraparound;
+        ] );
+      ("statistics", [ Alcotest.test_case "aggregates" `Quick test_statistics ]);
+      ( "schedule_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_schedule_io_roundtrip;
+          Alcotest.test_case "mismatch rejected" `Quick test_schedule_io_rejects_mismatch;
+        ] );
+      ( "superstep_merge",
+        [
+          Alcotest.test_case "collapses chain" `Quick test_superstep_merge_collapses_chain;
+          Alcotest.test_case "blocked by cross edge" `Quick
+            test_superstep_merge_blocked_by_cross_edge;
+          prop_superstep_merge_never_worse;
+        ] );
+    ]
