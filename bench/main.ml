@@ -720,6 +720,153 @@ let ablations () =
     (Statistics.geometric_mean (List.map (fun (a, b) -> r b a) strat_rows))
 
 (* ------------------------------------------------------------------ *)
+(* Local-search engine benchmark: the read-only delta + worklist HC
+   against the apply/rollback sweep engine it replaced, on the same
+   instance with the same evaluation budget.                           *)
+
+let ls_start_schedule rng dag p =
+  let level = Dag.wavefronts dag in
+  let proc = Array.init (Dag.n dag) (fun _ -> Rng.int rng p) in
+  Schedule.of_assignment dag ~proc ~step:level
+
+(* Sub-second differential check, part of the CI tier: on small fixed
+   instances the worklist engine must terminate in a local minimum at
+   least as cheap as the reference sweep engine's (both engines use the
+   same neighbourhood and first-improvement rule, so with an ample
+   budget each ends in a genuine local minimum; the worklist's visiting
+   order may find a different — never worse on these instances — one). *)
+let ls_smoke () =
+  header "Local-search smoke check: worklist+delta vs reference engine";
+  let rng = Rng.create !seed in
+  let cases =
+    [
+      ("chain", Finegrained.spmv (Sparse_matrix.random rng ~n:10 ~q:0.2), 4, 3, 5);
+      ("exp", Finegrained.exp (Sparse_matrix.random rng ~n:8 ~q:0.25) ~k:2, 4, 2, 3);
+      ("cg", Finegrained.cg (Sparse_matrix.random rng ~n:6 ~q:0.3) ~k:2, 8, 1, 2);
+    ]
+  in
+  List.iter
+    (fun (name, dag, p, g, l) ->
+      let m = Machine.uniform ~p ~g ~l in
+      let s = ls_start_schedule rng dag p in
+      let _, st_wl = Hc.improve ~check:true m s in
+      let _, st_ref = Hc.improve_reference ~check:true m s in
+      Printf.printf "%-8s n=%-5d worklist=%-8d reference=%-8d evals %d vs %d\n" name
+        (Dag.n dag) st_wl.Hc.final_cost st_ref.Hc.final_cost st_wl.Hc.moves_evaluated
+        st_ref.Hc.moves_evaluated;
+      if st_wl.Hc.final_cost > st_ref.Hc.final_cost then
+        failwith
+          (Printf.sprintf
+             "ls_smoke: worklist engine ended worse than the reference on %s (%d > %d)"
+             name st_wl.Hc.final_cost st_ref.Hc.final_cost))
+    cases;
+  print_endline "ls_smoke: OK (worklist local minima never worse than reference)"
+
+let ls_eval_budget () =
+  match !scale with
+  | Datasets.Smoke -> 60_000
+  | Datasets.Default -> 250_000
+  | Datasets.Full -> 1_000_000
+
+(* Moves-evaluated/sec microbenchmark on a >= 10k-node instance, plus an
+   end-to-end pipeline wall time; emits BENCH_localsearch.json. *)
+let localsearch () =
+  header "Local-search engine microbenchmark (delta/worklist vs apply/rollback)";
+  let rng = Rng.create !seed in
+  let dag =
+    Finegrained.generate_sized rng ~family:Finegrained.Exp ~shape:Finegrained.Wide
+      ~target:12_000
+  in
+  let n = Dag.n dag in
+  let m = Machine.uniform ~p:8 ~g:3 ~l:5 in
+  let init = Bspg.schedule m dag in
+  let evals = ls_eval_budget () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Both engines are deterministic on a fixed start schedule, so
+     repetitions re-measure the same work; alternating them makes slow
+     drifts of the host machine hit both evenly. Rates come from the
+     summed times. *)
+  let reps =
+    match !scale with Datasets.Smoke -> 1 | Datasets.Default -> 2 | Datasets.Full -> 5
+  in
+  Printf.eprintf "[ls] n=%d, budget=%d evals, %d alternating reps...%!" n evals reps;
+  let t_ref = ref 0.0 and t_wl = ref 0.0 in
+  let last_ref = ref None and last_wl = ref None in
+  for _ = 1 to reps do
+    let (_, s), t =
+      time (fun () -> Hc.improve_reference ~budget:(Budget.steps evals) m init)
+    in
+    last_ref := Some s;
+    t_ref := !t_ref +. t;
+    let (_, s), t = time (fun () -> Hc.improve ~budget:(Budget.steps evals) m init) in
+    last_wl := Some s;
+    t_wl := !t_wl +. t;
+    Printf.eprintf " .%!"
+  done;
+  Printf.eprintf " done (ref %.2fs, delta %.2fs)\n%!" !t_ref !t_wl;
+  let st_ref = Option.get !last_ref and st_wl = Option.get !last_wl in
+  let t_ref = !t_ref and t_wl = !t_wl in
+  let rate st t = float_of_int (reps * st.Hc.moves_evaluated) /. t in
+  let rate_ref = rate st_ref t_ref and rate_wl = rate st_wl t_wl in
+  let speedup = rate_wl /. rate_ref in
+  Printf.printf "instance: exp/wide, n=%d, P=8 g=3 l=5, budget=%d evals, reps=%d\n" n
+    evals reps;
+  Printf.printf "%-12s %12s %10s %14s %10s\n" "engine" "evaluated" "applied" "evals/sec"
+    "final";
+  Printf.printf "%-12s %12d %10d %14.0f %10d\n" "reference" st_ref.Hc.moves_evaluated
+    st_ref.Hc.moves_applied rate_ref st_ref.Hc.final_cost;
+  Printf.printf "%-12s %12d %10d %14.0f %10d\n" "delta" st_wl.Hc.moves_evaluated
+    st_wl.Hc.moves_applied rate_wl st_wl.Hc.final_cost;
+  Printf.printf "speedup (moves evaluated / sec): %.1fx\n" speedup;
+  (* End-to-end: the heuristic pipeline (no ILP — this instance is far
+     above the ILP node caps anyway) on the same instance. *)
+  let pipeline_limits =
+    { Pipeline.fast_limits with Pipeline.hc_evals = evals; hccs_evals = evals / 4 }
+  in
+  let (_, stage), t_pipe = time (fun () -> Pipeline.run ~limits:pipeline_limits m dag) in
+  Printf.printf "pipeline (init+HC+HCcs) wall time: %.2fs, cost %d -> %d\n" t_pipe
+    stage.Pipeline.init_cost stage.Pipeline.final_cost;
+  let oc = open_out "BENCH_localsearch.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "localsearch",
+  "scale": "%s",
+  "seed": %d,
+  "instance": { "family": "exp", "shape": "wide", "nodes": %d },
+  "machine": { "p": 8, "g": 3, "l": 5 },
+  "eval_budget": %d,
+  "reps": %d,
+  "reference": {
+    "moves_evaluated": %d,
+    "moves_applied": %d,
+    "seconds_total": %.4f,
+    "evals_per_sec": %.0f,
+    "final_cost": %d
+  },
+  "delta_worklist": {
+    "moves_evaluated": %d,
+    "moves_applied": %d,
+    "seconds_total": %.4f,
+    "evals_per_sec": %.0f,
+    "final_cost": %d
+  },
+  "speedup_evals_per_sec": %.2f,
+  "pipeline_seconds": %.4f,
+  "pipeline_final_cost": %d
+}
+|}
+    (Datasets.scale_name !scale) !seed n evals reps st_ref.Hc.moves_evaluated
+    st_ref.Hc.moves_applied t_ref rate_ref st_ref.Hc.final_cost st_wl.Hc.moves_evaluated
+    st_wl.Hc.moves_applied t_wl rate_wl st_wl.Hc.final_cost speedup t_pipe
+    stage.Pipeline.final_cost;
+  close_out oc;
+  Printf.printf "wrote BENCH_localsearch.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel stage timings (Section 8's running-time discussion).       *)
 
 let run_timing () =
@@ -805,6 +952,8 @@ let sections =
     ("table13", table13);
     ("table14", table14);
     ("ablations", ablations);
+    ("ls_smoke", ls_smoke);
+    ("localsearch", localsearch);
   ]
 
 let () =

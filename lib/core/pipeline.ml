@@ -12,6 +12,7 @@ type limits = {
   use_ilp : bool;
   use_ilp_init : bool;
   stage_seconds : float option;
+  hc_check : bool;
 }
 
 let default_limits =
@@ -29,6 +30,7 @@ let default_limits =
     use_ilp = true;
     use_ilp_init = false;
     stage_seconds = Some 5.0;
+    hc_check = false;
   }
 
 let fast_limits =
@@ -73,7 +75,11 @@ let stage_budget limits evals =
    superstep-merge pass in between crosses the plateau single-node moves
    cannot (emptying a superstep is cost-neutral move by move). *)
 let local_search limits machine sched =
-  let hc, _ = Hc.improve ~budget:(stage_budget limits limits.hc_evals) machine sched in
+  let hc, _ =
+    Hc.improve ~check:limits.hc_check
+      ~budget:(stage_budget limits limits.hc_evals)
+      machine sched
+  in
   let hc = Superstep_merge.greedy machine (Schedule.compact hc) in
   let hccs, _ = Hccs.improve ~budget:(stage_budget limits limits.hccs_evals) machine hc in
   hccs

@@ -36,6 +36,11 @@ type limits = {
           [P = 4], where the training runs showed it competitive
           (Appendix C.1) *)
   stage_seconds : float option;  (** optional wall-clock cap per stage *)
+  hc_check : bool;
+      (** run HC with its delta-vs-apply cross-validation assertions
+          (see {!Hc.improve}); off by default so release and benchmark
+          runs keep rejected candidate moves read-only — the test suite
+          turns it on *)
 }
 
 val default_limits : limits

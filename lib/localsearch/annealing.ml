@@ -42,11 +42,11 @@ let improve ?(budget = Budget.unlimited) ?config machine sched =
     let rng = Rng.create config.seed in
     let accepted = ref 0 and rejected = ref 0 and uphill = ref 0 in
     let best_proc, best_step = Assignment_state.assignment st in
-    let best_cost = ref (Assignment_state.total_cost st) in
+    let cur_cost = ref (Assignment_state.total_cost st) in
+    let best_cost = ref !cur_cost in
     let record_if_best () =
-      let c = Assignment_state.total_cost st in
-      if c < !best_cost then begin
-        best_cost := c;
+      if !cur_cost < !best_cost then begin
+        best_cost := !cur_cost;
         let proc, step = Assignment_state.assignment st in
         Array.blit proc 0 best_proc 0 n;
         Array.blit step 0 best_step 0 n
@@ -65,23 +65,22 @@ let improve ?(budget = Budget.unlimited) ?config machine sched =
             (not (p2 = Assignment_state.proc st v && s2 = s1))
             && Assignment_state.valid_move st v p2 s2
           then begin
-            let p1 = Assignment_state.proc st v in
-            let before = Assignment_state.total_cost st in
-            Assignment_state.apply_move st v p2 s2;
-            let delta = Assignment_state.total_cost st - before in
+            (* Metropolis acceptance from the read-only delta; the state
+               is mutated only for accepted moves, so rejections cost a
+               single delta evaluation instead of apply + rollback. *)
+            let delta = Assignment_state.delta_cost st v p2 s2 in
             let accept =
               delta <= 0
               || Rng.float rng 1.0 < Stdlib.exp (-.float_of_int delta /. !temperature)
             in
             if accept then begin
+              Assignment_state.apply_move st v p2 s2;
+              cur_cost := !cur_cost + delta;
               incr accepted;
               if delta > 0 then incr uphill;
               record_if_best ()
             end
-            else begin
-              incr rejected;
-              Assignment_state.apply_move st v p1 s1
-            end
+            else incr rejected
           end
         end
       done;

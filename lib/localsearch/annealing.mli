@@ -10,9 +10,12 @@
 
     The incremental cost machinery is shared with HC through the same
     state representation (lazy communication schedule, {!Cost_table});
-    the best assignment ever visited is tracked and returned, so the
-    result never regresses below the plain hill-climbing baseline when
-    started from its output. *)
+    each candidate is costed with the read-only
+    {!Assignment_state.delta_cost} and the Metropolis test is applied to
+    that delta, so only accepted moves mutate the state. The best
+    assignment ever visited is tracked and returned, so the result never
+    regresses below the plain hill-climbing baseline when started from
+    its output. *)
 
 type config = {
   initial_temperature : float;

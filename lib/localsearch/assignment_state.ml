@@ -6,12 +6,89 @@ type t = {
   proc_ : int array;
   step_ : int array;
   table : Cost_table.t;
+  (* Aliases of the cost table's backing arrays (stable for the table's
+     lifetime), so the hot evaluation loops read them without a
+     cross-module accessor call. *)
+  work_m : int array array;
+  send_m : int array array;
+  recv_m : int array array;
+  cost_c : int array;
+  wmax_c : int array;
+  hmax_c : int array;
   (* first_need.(u * p + q): earliest superstep in which processor q
      needs the value of u (min step over successors of u assigned to q);
      max_int when q has no successor of u. Entries exist for every q
      including proc.(u); only q <> proc.(u) induce lazy communication
      events, pinned to phase first_need - 1. *)
   first_need : int array;
+  (* fn_count.(u * p + q): how many successors of u on q attain
+     first_need. Lets a move decide in O(1) whether removing one
+     successor changes the minimum; a successor-list rescan happens only
+     when the unique minimiser leaves, which keeps rejected candidate
+     moves free of successor scans. 0 when first_need = max_int. *)
+  fn_count : int array;
+  (* ev_cnt.(u): how many processors have first_need <> no_need, i.e.
+     the number of entries the producer-side loop of delta_cost must
+     visit; lets it skip event-free nodes and stop at the last entry. *)
+  ev_cnt : int array;
+  (* Read-only delta-evaluation scratch: candidate adjustments to the
+     cost-table cells, indexed [step * p + proc], zero outside the cells
+     recorded in touched_cells (kept duplicate-free via cell_mark).
+     touched_steps (deduplicated via step_touched) survives until the
+     next delta so the worklist can ask which supersteps an accepted
+     move disturbed. *)
+  d_work : int array;
+  d_send : int array;
+  d_recv : int array;
+  cell_mark : bool array;
+  mutable touched_cells : int array;
+  mutable touched_cells_len : int;
+  touched_steps : int array;
+  mutable touched_steps_len : int;
+  step_touched : bool array;
+  (* Row-evaluation scratch ({!delta_cost_row}): first_need-without-v of
+     each predecessor towards p1 (indexed by position in the pred list),
+     and undo logs so the per-target-processor addition overlays can be
+     retracted from the shared removal base. *)
+  pred_without : int array;
+  mutable undo_cell : int array;
+  mutable undo_kind : int array;
+  mutable undo_amt : int array;
+  mutable undo_len : int;
+  (* Per-row hoisted data, filled once with the removal base and read by
+     every column: the producer's live events (destination and phase)
+     and each predecessor's processor, comm weight, first_need row
+     offset, and lambda row. row_node identifies the node whose base is
+     resident in the scratch (-1 when stale); the base is invalidated by
+     any other evaluation or mutation but survives across the up-to-3
+     superstep rows of one node (it does not depend on s2). *)
+  ev_q : int array;
+  ev_ph : int array;
+  pred_src : int array;
+  pred_comm : int array;
+  pred_fn_base : int array;
+  pred_lam : int array array;
+  mutable row_node : int;
+  mutable row_base_delta : int;
+  mutable row_cnt : int;
+  mutable row_wv : int;
+  mutable row_cv : int;
+  mutable row_npred : int;
+  (* Per-step maxima/cost of the removal base (valid where base_mark),
+     and the per-column combination scratch: col_wm/col_hm start from
+     the base (or cached) maxima and absorb the column's addition cells
+     as they are accumulated; col_neg forces a full rescan of a step
+     that saw a negative adjustment (only pred-event retractions). *)
+  base_mark : bool array;
+  base_wm : int array;
+  base_hm : int array;
+  base_cost : int array;
+  col_mark : bool array;
+  col_steps : int array;
+  mutable col_steps_len : int;
+  col_wm : int array;
+  col_hm : int array;
+  col_neg : bool array;
 }
 
 let no_need = max_int
@@ -25,13 +102,46 @@ let total_cost t = Cost_table.total t.table
 let recompute_first_need st u =
   let base = u * st.p in
   for q = 0 to st.p - 1 do
-    st.first_need.(base + q) <- no_need
+    st.first_need.(base + q) <- no_need;
+    st.fn_count.(base + q) <- 0
   done;
   Array.iter
     (fun v ->
       let idx = base + st.proc_.(v) in
-      if st.step_.(v) < st.first_need.(idx) then st.first_need.(idx) <- st.step_.(v))
-    (Dag.succ st.dag u)
+      let s = st.step_.(v) in
+      if s < st.first_need.(idx) then begin
+        st.first_need.(idx) <- s;
+        st.fn_count.(idx) <- 1
+      end
+      else if s = st.first_need.(idx) then st.fn_count.(idx) <- st.fn_count.(idx) + 1)
+    (Dag.succ st.dag u);
+  let cnt = ref 0 in
+  for q = 0 to st.p - 1 do
+    if st.first_need.(base + q) <> no_need then incr cnt
+  done;
+  st.ev_cnt.(u) <- !cnt
+
+(* Recompute first_need/fn_count of u towards q alone, from the current
+   assignment (used when the unique minimiser moved away). *)
+let rescan_fn st u q =
+  let idx = (u * st.p) + q in
+  let old_fn = st.first_need.(idx) in
+  let m = ref no_need and c = ref 0 in
+  Array.iter
+    (fun w ->
+      if st.proc_.(w) = q then begin
+        let s = st.step_.(w) in
+        if s < !m then begin
+          m := s;
+          c := 1
+        end
+        else if s = !m then incr c
+      end)
+    (Dag.succ st.dag u);
+  st.first_need.(idx) <- !m;
+  st.fn_count.(idx) <- !c;
+  if old_fn = no_need && !m <> no_need then st.ev_cnt.(u) <- st.ev_cnt.(u) + 1
+  else if old_fn <> no_need && !m = no_need then st.ev_cnt.(u) <- st.ev_cnt.(u) - 1
 
 (* Add (sign = +1) or remove (sign = -1) the lazy communication event of
    producer u towards destination q, if any. *)
@@ -56,6 +166,13 @@ let init machine (sched : Schedule.t) =
   let n = Dag.n dag in
   let p = machine.Machine.p in
   let num_steps = Schedule.num_supersteps sched in
+  let table = Cost_table.create machine ~num_steps in
+  let max_in = ref 1 in
+  for v = 0 to n - 1 do
+    let d = Array.length (Dag.pred dag v) in
+    if d > !max_in then max_in := d
+  done;
+  let max_in = !max_in in
   let st =
     {
       dag;
@@ -64,8 +181,52 @@ let init machine (sched : Schedule.t) =
       num_steps_ = num_steps;
       proc_ = Array.copy sched.Schedule.proc;
       step_ = Array.copy sched.Schedule.step;
-      table = Cost_table.create machine ~num_steps;
+      table;
+      work_m = Cost_table.work_matrix table;
+      send_m = Cost_table.send_matrix table;
+      recv_m = Cost_table.recv_matrix table;
+      cost_c = Cost_table.step_costs table;
+      wmax_c = Cost_table.work_max table;
+      hmax_c = Cost_table.comm_max table;
       first_need = Array.make (n * p) no_need;
+      fn_count = Array.make (n * p) 0;
+      ev_cnt = Array.make n 0;
+      d_work = Array.make (num_steps * p) 0;
+      d_send = Array.make (num_steps * p) 0;
+      d_recv = Array.make (num_steps * p) 0;
+      cell_mark = Array.make (num_steps * p) false;
+      touched_cells = Array.make 64 0;
+      touched_cells_len = 0;
+      touched_steps = Array.make (max num_steps 1) 0;
+      touched_steps_len = 0;
+      step_touched = Array.make (max num_steps 1) false;
+      pred_without = Array.make max_in no_need;
+      undo_cell = Array.make 16 0;
+      undo_kind = Array.make 16 0;
+      undo_amt = Array.make 16 0;
+      undo_len = 0;
+      ev_q = Array.make p 0;
+      ev_ph = Array.make p 0;
+      pred_src = Array.make max_in 0;
+      pred_comm = Array.make max_in 0;
+      pred_fn_base = Array.make max_in 0;
+      pred_lam = Array.make max_in [||];
+      row_node = -1;
+      row_base_delta = 0;
+      row_cnt = 0;
+      row_wv = 0;
+      row_cv = 0;
+      row_npred = 0;
+      base_mark = Array.make (max num_steps 1) false;
+      base_wm = Array.make (max num_steps 1) 0;
+      base_hm = Array.make (max num_steps 1) 0;
+      base_cost = Array.make (max num_steps 1) 0;
+      col_mark = Array.make (max num_steps 1) false;
+      col_steps = Array.make (max num_steps 1) 0;
+      col_steps_len = 0;
+      col_wm = Array.make (max num_steps 1) 0;
+      col_hm = Array.make (max num_steps 1) 0;
+      col_neg = Array.make (max num_steps 1) false;
     }
   in
   for v = 0 to n - 1 do
@@ -87,11 +248,617 @@ let valid_move st v p2 s2 =
        (fun w -> if st.proc_.(w) = p2 then st.step_.(w) >= s2 else st.step_.(w) > s2)
        (Dag.succ st.dag v)
 
-(* Apply the move unconditionally; the caller compares costs and may
-   apply the inverse move to roll back (the state is a pure function of
-   the assignment, so the inverse restores it exactly). *)
+(* The whole neighbourhood of one node shares its validity structure:
+   a candidate (p2, s2) is valid iff s2 clears the latest predecessor
+   (strictly, unless every latest predecessor sits on p2) and stays
+   below the earliest successor (strictly, unless every earliest
+   successor sits on p2). Summarising the four quantities once per node
+   makes the per-candidate check O(1) instead of a pred/succ scan. *)
+let move_window st v =
+  let last_pred = ref (-1) and last_pred_proc = ref (-1) in
+  Array.iter
+    (fun u ->
+      let s = st.step_.(u) in
+      if s > !last_pred then begin
+        last_pred := s;
+        last_pred_proc := st.proc_.(u)
+      end
+      else if s = !last_pred && st.proc_.(u) <> !last_pred_proc then last_pred_proc := -1)
+    (Dag.pred st.dag v);
+  let first_succ = ref st.num_steps_ and first_succ_proc = ref (-1) in
+  Array.iter
+    (fun w ->
+      let s = st.step_.(w) in
+      if s < !first_succ then begin
+        first_succ := s;
+        first_succ_proc := st.proc_.(w)
+      end
+      else if s = !first_succ && st.proc_.(w) <> !first_succ_proc then
+        first_succ_proc := -1)
+    (Dag.succ st.dag v);
+  (!last_pred, !last_pred_proc, !first_succ, !first_succ_proc)
+
+(* ------------------------------------------------------------------ *)
+(* Read-only delta evaluation.                                         *)
+
+let reset_scratch st =
+  for k = 0 to st.touched_cells_len - 1 do
+    let i = Array.unsafe_get st.touched_cells k in
+    Array.unsafe_set st.d_work i 0;
+    Array.unsafe_set st.d_send i 0;
+    Array.unsafe_set st.d_recv i 0;
+    Array.unsafe_set st.cell_mark i false
+  done;
+  st.touched_cells_len <- 0;
+  for k = 0 to st.touched_steps_len - 1 do
+    let s = Array.unsafe_get st.touched_steps k in
+    Array.unsafe_set st.step_touched s false;
+    (* The touched steps are exactly the resident row base's steps, so
+       this also retires its per-step maxima (see delta_cost_row). *)
+    Array.unsafe_set st.base_mark s false
+  done;
+  st.touched_steps_len <- 0;
+  st.row_node <- -1
+
+(* The accumulation helpers below run a dozen times per costed
+   candidate, so their indexing is unsafe. Invariant: every (s, q)
+   passed in satisfies 0 <= s < num_steps and 0 <= q < p — work cells
+   come from the current/candidate assignment, and event phases are
+   fn - 1 with fn >= 1 because a cross-processor consumer always sits in
+   superstep >= 1 of a valid assignment. The scratch arrays have length
+   num_steps * p, touched_steps/step_touched length num_steps (dedup
+   bounds the append position). Only touched_cells can grow, and its
+   append stays checked by the growth test. *)
+
+(* Duplicate-free so reset_scratch clears each cell exactly once. *)
+let push_cell st i =
+  if not (Array.unsafe_get st.cell_mark i) then begin
+    Array.unsafe_set st.cell_mark i true;
+    if st.touched_cells_len = Array.length st.touched_cells then begin
+      let bigger = Array.make (2 * st.touched_cells_len) 0 in
+      Array.blit st.touched_cells 0 bigger 0 st.touched_cells_len;
+      st.touched_cells <- bigger
+    end;
+    Array.unsafe_set st.touched_cells st.touched_cells_len i;
+    st.touched_cells_len <- st.touched_cells_len + 1
+  end
+
+let touch_step st s =
+  if not (Array.unsafe_get st.step_touched s) then begin
+    Array.unsafe_set st.step_touched s true;
+    Array.unsafe_set st.touched_steps st.touched_steps_len s;
+    st.touched_steps_len <- st.touched_steps_len + 1
+  end
+
+let acc_work st s q d =
+  let i = (s * st.p) + q in
+  Array.unsafe_set st.d_work i (Array.unsafe_get st.d_work i + d);
+  push_cell st i;
+  touch_step st s
+
+let acc_send st s q vol =
+  let i = (s * st.p) + q in
+  Array.unsafe_set st.d_send i (Array.unsafe_get st.d_send i + vol);
+  push_cell st i;
+  touch_step st s
+
+let acc_recv st s q vol =
+  let i = (s * st.p) + q in
+  Array.unsafe_set st.d_recv i (Array.unsafe_get st.d_recv i + vol);
+  push_cell st i;
+  touch_step st s
+
+let acc_comm st s ~src ~dst vol =
+  acc_send st s src vol;
+  acc_recv st s dst vol
+
+(* Cost change of exactly the touched supersteps under the current
+   scratch overlay. This loop dominates a rejected candidate's cost, so
+   the indexing is unsafe: every touched step is in [0, num_steps) (it
+   came from a work cell or an event phase of a valid assignment), the
+   matrix rows have length p, and the scratch arrays have length
+   num_steps * p. *)
+let cost_of_touched st =
+  let work_m = st.work_m in
+  let send_m = st.send_m in
+  let recv_m = st.recv_m in
+  let cached = st.cost_c in
+  let g = st.machine_.Machine.g and l = st.machine_.Machine.l in
+  let delta = ref 0 in
+  let work_max = ref 0 and comm_max = ref 0 in
+  for k = 0 to st.touched_steps_len - 1 do
+    let s = Array.unsafe_get st.touched_steps k in
+    let off = s * st.p in
+    let work_row = Array.unsafe_get work_m s in
+    let send_row = Array.unsafe_get send_m s in
+    let recv_row = Array.unsafe_get recv_m s in
+    work_max := 0;
+    comm_max := 0;
+    for q = 0 to st.p - 1 do
+      let w = Array.unsafe_get work_row q + Array.unsafe_get st.d_work (off + q) in
+      if w > !work_max then work_max := w;
+      let snd = Array.unsafe_get send_row q + Array.unsafe_get st.d_send (off + q) in
+      let rcv = Array.unsafe_get recv_row q + Array.unsafe_get st.d_recv (off + q) in
+      let h = if snd > rcv then snd else rcv in
+      if h > !comm_max then comm_max := h
+    done;
+    (* inlined Bsp_cost.superstep_cost *)
+    delta := !delta + !work_max + (g * !comm_max) + l - Array.unsafe_get cached s
+  done;
+  !delta
+
+(* first_need(u, q) after the candidate reassignment of v (a successor
+   of u) to (p2, s2), computed without mutating. The fn_count trick
+   avoids the successor scan unless v is the unique minimiser on q. *)
+let fn_after st u q v p2 s2 =
+  let idx = (u * st.p) + q in
+  let old_fn = st.first_need.(idx) in
+  let without_v =
+    if st.proc_.(v) <> q then old_fn
+    else if st.step_.(v) > old_fn then old_fn
+    else if st.fn_count.(idx) > 1 then old_fn
+    else begin
+      let m = ref no_need in
+      Array.iter
+        (fun w ->
+          if w <> v && st.proc_.(w) = q && st.step_.(w) < !m then m := st.step_.(w))
+        (Dag.succ st.dag u);
+      !m
+    end
+  in
+  if p2 = q && s2 < without_v then s2 else without_v
+
+let delta_cost st v p2 s2 =
+  let p1 = st.proc_.(v) and s1 = st.step_.(v) in
+  if p1 = p2 && s1 = s2 then 0
+  else begin
+    reset_scratch st;
+    let wv = Dag.work st.dag v in
+    acc_work st s1 p1 (-wv);
+    acc_work st s2 p2 wv;
+    (* Producer side of v: destinations and volumes depend on proc.(v);
+       the first_need row of v itself is unaffected by the move. A pure
+       superstep move (p2 = p1) leaves every producer event in place.
+       For third-party destinations both the old and new event land in
+       the same receive cell, so accumulate their net volume once. *)
+    (if p2 <> p1 then
+       let cnt = st.ev_cnt.(v) in
+       if cnt > 0 then begin
+         let cv = Dag.comm st.dag v in
+         let lam1 = st.machine_.Machine.lambda.(p1) in
+         let lam2 = st.machine_.Machine.lambda.(p2) in
+         let base = v * st.p in
+         (* ev_cnt bounds the live entries: stop after the last one
+            instead of always scanning all p destinations. *)
+         let seen = ref 0 in
+         let q = ref 0 in
+         while !seen < cnt do
+           let fn = Array.unsafe_get st.first_need (base + !q) in
+           if fn <> no_need then begin
+             incr seen;
+             let s = fn - 1 in
+             if !q = p1 then
+               (* previously local to v, now needs an event p2 -> p1 *)
+               acc_comm st s ~src:p2 ~dst:p1 (cv * lam2.(!q))
+             else if !q = p2 then
+               (* the old event p1 -> p2 disappears (v becomes local) *)
+               acc_comm st s ~src:p1 ~dst:p2 (-(cv * lam1.(!q)))
+             else begin
+               let vol1 = cv * lam1.(!q) and vol2 = cv * lam2.(!q) in
+               acc_send st s p1 (-vol1);
+               acc_send st s p2 vol2;
+               if vol1 <> vol2 then acc_recv st s !q (vol2 - vol1)
+             end
+           end;
+           incr q
+         done
+       end);
+    (* Predecessors: only their events towards p1 and p2 can change.
+       Explicit loops (rather than Array.iter with a local helper) keep
+       this allocation-free — it runs for every costed candidate. A
+       proc-change move decomposes into a pure removal on the p1 side
+       (the minimum moves only when v is its unique attainer) and a pure
+       addition on the p2 side (the minimum moves only when s2 beats
+       it), both O(1) outside the rare unique-attainer rescan; only the
+       same-processor superstep move needs the generic {!fn_after}. *)
+    let preds = Dag.pred st.dag v in
+    for k = 0 to Array.length preds - 1 do
+      let u = preds.(k) in
+      let src = st.proc_.(u) in
+      if p2 = p1 then begin
+        if p1 <> src then begin
+          let old_fn = st.first_need.((u * st.p) + p1) in
+          let new_fn = fn_after st u p1 v p2 s2 in
+          if old_fn <> new_fn then begin
+            let vol = Dag.comm st.dag u * st.machine_.Machine.lambda.(src).(p1) in
+            if old_fn <> no_need then acc_comm st (old_fn - 1) ~src ~dst:p1 (-vol);
+            if new_fn <> no_need then acc_comm st (new_fn - 1) ~src ~dst:p1 vol
+          end
+        end
+      end
+      else begin
+        (if p1 <> src then
+           let idx = (u * st.p) + p1 in
+           let old_fn = Array.unsafe_get st.first_need idx in
+           (* v is a successor of u on p1, so old_fn <= s1 < no_need. *)
+           if s1 = old_fn && Array.unsafe_get st.fn_count idx = 1 then begin
+             let m = ref no_need in
+             Array.iter
+               (fun w ->
+                 if w <> v && st.proc_.(w) = p1 && st.step_.(w) < !m then
+                   m := st.step_.(w))
+               (Dag.succ st.dag u);
+             if !m <> old_fn then begin
+               let vol = Dag.comm st.dag u * st.machine_.Machine.lambda.(src).(p1) in
+               acc_comm st (old_fn - 1) ~src ~dst:p1 (-vol);
+               if !m <> no_need then acc_comm st (!m - 1) ~src ~dst:p1 vol
+             end
+           end);
+        if p2 <> src then begin
+          let old_fn = Array.unsafe_get st.first_need ((u * st.p) + p2) in
+          if s2 < old_fn then begin
+            let vol = Dag.comm st.dag u * st.machine_.Machine.lambda.(src).(p2) in
+            if old_fn <> no_need then acc_comm st (old_fn - 1) ~src ~dst:p2 (-vol);
+            (* a valid candidate puts cross-processor preds strictly
+               before s2, so s2 >= 1 here *)
+            acc_comm st (s2 - 1) ~src ~dst:p2 vol
+          end
+        end
+      end
+    done;
+    cost_of_touched st
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Row evaluation: every target processor of one superstep at once.    *)
+
+let push_undo st i kind amt =
+  if st.undo_len = Array.length st.undo_cell then begin
+    let grow a =
+      let b = Array.make (2 * st.undo_len) 0 in
+      Array.blit a 0 b 0 st.undo_len;
+      b
+    in
+    st.undo_cell <- grow st.undo_cell;
+    st.undo_kind <- grow st.undo_kind;
+    st.undo_amt <- grow st.undo_amt
+  end;
+  Array.unsafe_set st.undo_cell st.undo_len i;
+  Array.unsafe_set st.undo_kind st.undo_len kind;
+  Array.unsafe_set st.undo_amt st.undo_len amt;
+  st.undo_len <- st.undo_len + 1
+
+(* Mark superstep s as modified by the current column and seed its
+   running maxima: from the base scan when the removal base touched it,
+   from the cost table's cached maxima otherwise. *)
+let col_touch st s =
+  if not (Array.unsafe_get st.col_mark s) then begin
+    Array.unsafe_set st.col_mark s true;
+    Array.unsafe_set st.col_steps st.col_steps_len s;
+    st.col_steps_len <- st.col_steps_len + 1;
+    if Array.unsafe_get st.base_mark s then begin
+      Array.unsafe_set st.col_wm s (Array.unsafe_get st.base_wm s);
+      Array.unsafe_set st.col_hm s (Array.unsafe_get st.base_hm s)
+    end
+    else begin
+      Array.unsafe_set st.col_wm s (Array.unsafe_get st.wmax_c s);
+      Array.unsafe_set st.col_hm s (Array.unsafe_get st.hmax_c s)
+    end;
+    Array.unsafe_set st.col_neg s false
+  end
+
+(* The column accumulators bypass the touched-cell bookkeeping entirely:
+   the undo log alone restores the overlay, and the per-step maxima are
+   maintained on the fly. A non-negative amount can only raise a cell
+   above the base, so the running maximum absorbs the cell's new value;
+   a negative amount (a pred-event retraction) flags the step for a full
+   rescan at costing time. Duplicate cell updates within one column are
+   monotone, so processing intermediate values is harmless. *)
+let acc_work_u st s q d =
+  let i = (s * st.p) + q in
+  Array.unsafe_set st.d_work i (Array.unsafe_get st.d_work i + d);
+  push_undo st i 0 d;
+  col_touch st s;
+  if d < 0 then Array.unsafe_set st.col_neg s true
+  else begin
+    let w = Array.unsafe_get (Array.unsafe_get st.work_m s) q + Array.unsafe_get st.d_work i in
+    if w > Array.unsafe_get st.col_wm s then Array.unsafe_set st.col_wm s w
+  end
+
+let acc_send_u st s q vol =
+  let i = (s * st.p) + q in
+  Array.unsafe_set st.d_send i (Array.unsafe_get st.d_send i + vol);
+  push_undo st i 1 vol;
+  col_touch st s;
+  if vol < 0 then Array.unsafe_set st.col_neg s true
+  else begin
+    let snd = Array.unsafe_get (Array.unsafe_get st.send_m s) q + Array.unsafe_get st.d_send i in
+    if snd > Array.unsafe_get st.col_hm s then Array.unsafe_set st.col_hm s snd
+  end
+
+let acc_recv_u st s q vol =
+  let i = (s * st.p) + q in
+  Array.unsafe_set st.d_recv i (Array.unsafe_get st.d_recv i + vol);
+  push_undo st i 2 vol;
+  col_touch st s;
+  if vol < 0 then Array.unsafe_set st.col_neg s true
+  else begin
+    let rcv = Array.unsafe_get (Array.unsafe_get st.recv_m s) q + Array.unsafe_get st.d_recv i in
+    if rcv > Array.unsafe_get st.col_hm s then Array.unsafe_set st.col_hm s rcv
+  end
+
+let acc_comm_u st s ~src ~dst vol =
+  acc_send_u st s src vol;
+  acc_recv_u st s dst vol
+
+(* Retract the logged additions; cells and steps stay in the touched
+   lists with zero adjustments, which only costs the occasional stale
+   step rescan within the same row. *)
+let undo_additions st =
+  for j = st.undo_len - 1 downto 0 do
+    let i = Array.unsafe_get st.undo_cell j in
+    let amt = Array.unsafe_get st.undo_amt j in
+    match Array.unsafe_get st.undo_kind j with
+    | 0 -> Array.unsafe_set st.d_work i (Array.unsafe_get st.d_work i - amt)
+    | 1 -> Array.unsafe_set st.d_send i (Array.unsafe_get st.d_send i - amt)
+    | _ -> Array.unsafe_set st.d_recv i (Array.unsafe_get st.d_recv i - amt)
+  done;
+  st.undo_len <- 0
+
+(* Work and h-relation maxima of one superstep under the current
+   scratch overlay (same unsafe-indexing invariant as
+   {!cost_of_touched}). *)
+let overlay_step_maxima st s =
+  let off = s * st.p in
+  let work_row = Array.unsafe_get st.work_m s in
+  let send_row = Array.unsafe_get st.send_m s in
+  let recv_row = Array.unsafe_get st.recv_m s in
+  let wm = ref 0 and hm = ref 0 in
+  for q = 0 to st.p - 1 do
+    let w = Array.unsafe_get work_row q + Array.unsafe_get st.d_work (off + q) in
+    if w > !wm then wm := w;
+    let snd = Array.unsafe_get send_row q + Array.unsafe_get st.d_send (off + q) in
+    let rcv = Array.unsafe_get recv_row q + Array.unsafe_get st.d_recv (off + q) in
+    let h = if snd > rcv then snd else rcv in
+    if h > !hm then hm := h
+  done;
+  (!wm, !hm)
+
+(* Deltas of a whole candidate row — v to (p2, s2) for every p2 — as
+   one shared removal base (v leaves (p1, s1): its work cell, its
+   producer events, its predecessors' events towards p1) plus a per-p2
+   addition overlay retracted through the undo log. The removal side is
+   what a pairwise evaluation would recompute p times over. The caller
+   must have established that every (p2, s2) in the row is a valid
+   move; out.(p1) is 0 when s2 = s1 (the identity is not a move).
+
+   Columns are costed incrementally: the base supersteps are scanned
+   once for their maxima and cost, and each column then only combines
+   its own addition cells against the base (or cached) maxima via the
+   undo log. Addition amounts are non-negative except the retraction of
+   a predecessor's pre-existing event, so a modified cell can only raise
+   the step maxima — steps that saw a negative amount are flagged and
+   rescanned in full. *)
+let build_row_base st v =
+  let p1 = st.proc_.(v) and s1 = st.step_.(v) in
+  reset_scratch st;
+  st.undo_len <- 0;
+  let wv = Dag.work st.dag v in
+  let cv = Dag.comm st.dag v in
+  let base = v * st.p in
+  let lam1 = st.machine_.Machine.lambda.(p1) in
+  acc_work st s1 p1 (-wv);
+  let cnt = st.ev_cnt.(v) in
+  (* The producer's live events, recorded (destination, phase) for the
+     columns while their removal is accumulated. *)
+  (if cnt > 0 then begin
+     let seen = ref 0 in
+     let q = ref 0 in
+     while !seen < cnt do
+       let fn = Array.unsafe_get st.first_need (base + !q) in
+       if fn <> no_need then begin
+         Array.unsafe_set st.ev_q !seen !q;
+         Array.unsafe_set st.ev_ph !seen (fn - 1);
+         incr seen;
+         if !q <> p1 then acc_comm st (fn - 1) ~src:p1 ~dst:!q (-(cv * lam1.(!q)))
+       end;
+       incr q
+     done
+   end);
+  let preds = Dag.pred st.dag v in
+  let npred = Array.length preds in
+  for k = 0 to npred - 1 do
+    let u = Array.unsafe_get preds k in
+    let src = st.proc_.(u) in
+    st.pred_src.(k) <- src;
+    st.pred_comm.(k) <- Dag.comm st.dag u;
+    st.pred_fn_base.(k) <- u * st.p;
+    st.pred_lam.(k) <- st.machine_.Machine.lambda.(src);
+    st.pred_without.(k) <-
+      (* first_need of u towards p1 once v has left; no_need when p1 is
+         u's own processor (no event either way — the addition loop
+         skips that case). *)
+      (if p1 = src then no_need
+       else begin
+         let idx = (u * st.p) + p1 in
+         let old_fn = Array.unsafe_get st.first_need idx in
+         if s1 = old_fn && Array.unsafe_get st.fn_count idx = 1 then begin
+           let m = ref no_need in
+           Array.iter
+             (fun w ->
+               if w <> v && st.proc_.(w) = p1 && st.step_.(w) < !m then
+                 m := st.step_.(w))
+             (Dag.succ st.dag u);
+           if !m <> old_fn then begin
+             let vol = Dag.comm st.dag u * st.machine_.Machine.lambda.(src).(p1) in
+             acc_comm st (old_fn - 1) ~src ~dst:p1 (-vol);
+             if !m <> no_need then acc_comm st (!m - 1) ~src ~dst:p1 vol
+           end;
+           !m
+         end
+         else old_fn
+       end)
+  done;
+  (* Maxima and cost of the base supersteps under the removal overlay,
+     and the cost change the base alone contributes. The touched lists
+     hold exactly the base cells/steps until the next evaluation: the
+     column accumulators bypass them, so the base (and its marks, which
+     the next reset_scratch retires) stays resident across all superstep
+     rows of v. *)
+  let g = st.machine_.Machine.g and l = st.machine_.Machine.l in
+  let base_delta = ref 0 in
+  for k = 0 to st.touched_steps_len - 1 do
+    let s = Array.unsafe_get st.touched_steps k in
+    let wm, hm = overlay_step_maxima st s in
+    let c = wm + (g * hm) + l in
+    Array.unsafe_set st.base_mark s true;
+    Array.unsafe_set st.base_wm s wm;
+    Array.unsafe_set st.base_hm s hm;
+    Array.unsafe_set st.base_cost s c;
+    base_delta := !base_delta + c - Array.unsafe_get st.cost_c s
+  done;
+  st.row_node <- v;
+  st.row_base_delta <- !base_delta;
+  st.row_cnt <- cnt;
+  st.row_wv <- wv;
+  st.row_cv <- cv;
+  st.row_npred <- npred
+
+(* One addition column against the resident removal base of v: v lands
+   on (p2, s2), with p1 its current processor. Leaves col_steps_len at 0
+   and the scratch back at the base overlay. *)
+let eval_column st ~p1 ~p2 ~s2 =
+  let cnt = st.row_cnt and wv = st.row_wv and cv = st.row_cv in
+  let npred = st.row_npred in
+  let g = st.machine_.Machine.g and l = st.machine_.Machine.l in
+  let cached = st.cost_c in
+  acc_work_u st s2 p2 wv;
+  (if cnt > 0 then begin
+     let lam2 = st.machine_.Machine.lambda.(p2) in
+     for j = 0 to cnt - 1 do
+       let q = Array.unsafe_get st.ev_q j in
+       if q <> p2 then
+         acc_comm_u st (Array.unsafe_get st.ev_ph j) ~src:p2 ~dst:q
+           (cv * Array.unsafe_get lam2 q)
+     done
+   end);
+  for k = 0 to npred - 1 do
+    let src = Array.unsafe_get st.pred_src k in
+    if p2 <> src then begin
+      let without =
+        if p2 = p1 then Array.unsafe_get st.pred_without k
+        else Array.unsafe_get st.first_need (Array.unsafe_get st.pred_fn_base k + p2)
+      in
+      if s2 < without then begin
+        let vol =
+          Array.unsafe_get st.pred_comm k
+          * Array.unsafe_get (Array.unsafe_get st.pred_lam k) p2
+        in
+        if without <> no_need then acc_comm_u st (without - 1) ~src ~dst:p2 (-vol);
+        (* a valid candidate puts cross-processor preds strictly
+           before s2, so s2 >= 1 here *)
+        acc_comm_u st (s2 - 1) ~src ~dst:p2 vol
+      end
+    end
+  done;
+  (* The accumulators above maintained the per-step running maxima; sum
+     each modified step's new cost against its base (or cached) cost,
+     rescanning in full only the steps flagged negative. *)
+  let delta = ref st.row_base_delta in
+  for k = 0 to st.col_steps_len - 1 do
+    let s = Array.unsafe_get st.col_steps k in
+    Array.unsafe_set st.col_mark s false;
+    let before =
+      if Array.unsafe_get st.base_mark s then Array.unsafe_get st.base_cost s
+      else Array.unsafe_get cached s
+    in
+    if Array.unsafe_get st.col_neg s then begin
+      let wm, hm = overlay_step_maxima st s in
+      delta := !delta + wm + (g * hm) + l - before
+    end
+    else
+      delta :=
+        !delta
+        + Array.unsafe_get st.col_wm s
+        + (g * Array.unsafe_get st.col_hm s)
+        + l - before
+  done;
+  st.col_steps_len <- 0;
+  undo_additions st;
+  !delta
+
+let delta_cost_row st v ~s2 out =
+  if st.row_node <> v then build_row_base st v;
+  let p1 = st.proc_.(v) and s1 = st.step_.(v) in
+  for p2 = 0 to st.p - 1 do
+    if p2 = p1 && s2 = s1 then out.(p2) <- 0
+    else out.(p2) <- eval_column st ~p1 ~p2 ~s2
+  done
+
+(* Pairwise evaluation through the same machinery: reuses the resident
+   removal base of v when one is live, which makes isolated candidates
+   (the boundary supersteps of a node's validity window) share the base
+   built for its full rows. *)
+let delta_cost_cached st v p2 s2 =
+  let p1 = st.proc_.(v) and s1 = st.step_.(v) in
+  if p1 = p2 && s1 = s2 then 0
+  else begin
+    if st.row_node <> v then build_row_base st v;
+    eval_column st ~p1 ~p2 ~s2
+  end
+
+let iter_last_touched_steps st f =
+  for k = 0 to st.touched_steps_len - 1 do
+    f st.touched_steps.(k)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Mutation.                                                           *)
+
+(* Incremental first_need/fn_count update of u towards q when v (a
+   successor of u) moves from (p1, s1) to (p2, s2); proc_/step_ of v
+   must already hold the new values. Falls back to a successor rescan
+   only when the unique minimiser left q. *)
+let update_fn st u q ~p1 ~s1 ~p2 ~s2 =
+  let idx = (u * st.p) + q in
+  let old_fn = st.first_need.(idx) in
+  let removed = q = p1 and added = q = p2 in
+  if removed && added then begin
+    (* v stays on q, moving s1 -> s2 (old_fn <= s1 by definition). *)
+    if s2 < old_fn then begin
+      st.first_need.(idx) <- s2;
+      st.fn_count.(idx) <- 1
+    end
+    else if s2 = old_fn then begin
+      if s1 <> old_fn then st.fn_count.(idx) <- st.fn_count.(idx) + 1
+    end
+    else if s1 = old_fn then begin
+      if st.fn_count.(idx) > 1 then st.fn_count.(idx) <- st.fn_count.(idx) - 1
+      else rescan_fn st u q
+    end
+  end
+  else if removed then begin
+    if s1 = old_fn then begin
+      if st.fn_count.(idx) > 1 then st.fn_count.(idx) <- st.fn_count.(idx) - 1
+      else rescan_fn st u q
+    end
+  end
+  else if added then begin
+    if s2 < old_fn then begin
+      (* old_fn = no_need means q had no event from u before this move. *)
+      if old_fn = no_need then st.ev_cnt.(u) <- st.ev_cnt.(u) + 1;
+      st.first_need.(idx) <- s2;
+      st.fn_count.(idx) <- 1
+    end
+    else if s2 = old_fn then st.fn_count.(idx) <- st.fn_count.(idx) + 1
+  end
+
+(* Apply the move unconditionally (the caller compares delta_cost and
+   only applies accepted moves; the state remains a pure function of the
+   assignment, so any move can still be undone by its inverse). *)
 let apply_move st v p2 s2 =
-  let p1 = st.proc_.(v) in
+  st.row_node <- -1;
+  let p1 = st.proc_.(v) and s1 = st.step_.(v) in
   (* Producer side of v itself: destinations and volumes depend on
      proc.(v), so retract everything and re-add after the update. The
      first_need entries of v do not change (its successors stay put). *)
@@ -102,23 +869,14 @@ let apply_move st v p2 s2 =
       source_comm_one st u p1 (-1);
       if p2 <> p1 then source_comm_one st u p2 (-1))
     (Dag.pred st.dag v);
-  Cost_table.add_work st.table ~step:st.step_.(v) ~proc:p1 (-Dag.work st.dag v);
+  Cost_table.add_work st.table ~step:s1 ~proc:p1 (-Dag.work st.dag v);
   Cost_table.add_work st.table ~step:s2 ~proc:p2 (Dag.work st.dag v);
   st.proc_.(v) <- p2;
   st.step_.(v) <- s2;
   Array.iter
     (fun u ->
-      let base = u * st.p in
-      let recompute q =
-        st.first_need.(base + q) <- no_need;
-        Array.iter
-          (fun w ->
-            if st.proc_.(w) = q && st.step_.(w) < st.first_need.(base + q) then
-              st.first_need.(base + q) <- st.step_.(w))
-          (Dag.succ st.dag u)
-      in
-      recompute p1;
-      if p2 <> p1 then recompute p2;
+      update_fn st u p1 ~p1 ~s1 ~p2 ~s2;
+      if p2 <> p1 then update_fn st u p2 ~p1 ~s1 ~p2 ~s2;
       source_comm_one st u p1 1;
       if p2 <> p1 then source_comm_one st u p2 1)
     (Dag.pred st.dag v);
@@ -128,3 +886,30 @@ let apply_move st v p2 s2 =
 let snapshot st = Schedule.of_assignment st.dag ~proc:st.proc_ ~step:st.step_
 
 let assignment st = (Array.copy st.proc_, Array.copy st.step_)
+
+let check_consistent st =
+  Cost_table.assert_consistent st.table;
+  let n = Dag.n st.dag in
+  for u = 0 to n - 1 do
+    let base = u * st.p in
+    let live = ref 0 in
+    for q = 0 to st.p - 1 do
+      let m = ref no_need and c = ref 0 in
+      Array.iter
+        (fun w ->
+          if st.proc_.(w) = q then begin
+            let s = st.step_.(w) in
+            if s < !m then begin
+              m := s;
+              c := 1
+            end
+            else if s = !m then incr c
+          end)
+        (Dag.succ st.dag u);
+      if st.first_need.(base + q) <> !m then
+        failwith "Assignment_state: stale first_need";
+      if st.fn_count.(base + q) <> !c then failwith "Assignment_state: stale fn_count";
+      if !m <> no_need then incr live
+    done;
+    if st.ev_cnt.(u) <> !live then failwith "Assignment_state: stale ev_cnt"
+  done

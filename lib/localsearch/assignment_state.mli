@@ -29,9 +29,69 @@ val valid_move : t -> int -> int -> int -> bool
 (** [valid_move st v p' s'] — would reassigning [v] to [(p', s')] keep
     the schedule valid (under lazy communication)? *)
 
+val move_window : t -> int -> int * int * int * int
+(** [(last_pred, last_pred_proc, first_succ, first_succ_proc)] for one
+    node: the latest predecessor superstep (or [-1]) and the earliest
+    successor superstep (or {!num_steps}), each with the common
+    processor of the nodes attaining it ([-1] if they disagree). A
+    candidate [(p', s')] is valid iff [s'] is in range and
+
+    {[ (s' > last_pred || (s' = last_pred && p' = last_pred_proc))
+       && (s' < first_succ || (s' = first_succ && p' = first_succ_proc)) ]}
+
+    Equivalent to {!valid_move} but O(1) per candidate once the window
+    is computed, which lets {!Hc}'s scan amortise the pred/succ scan
+    over a node's whole neighbourhood. *)
+
+val delta_cost : t -> int -> int -> int -> int
+(** [delta_cost st v p' s'] is the exact signed change of {!total_cost}
+    that {!apply_move}[ st v p' s'] would produce, computed {e without
+    mutating} the state: the touched [(step, proc)] cells (work cells,
+    the lazy events of [v], and the events of [v]'s predecessors towards
+    the old and new processor) are collected into a scratch overlay and
+    the superstep maxima are re-derived only over the touched supersteps.
+    Rejected candidates therefore cost a single read-only pass instead of
+    an apply/rollback cycle. Requires {!valid_move}[ st v p' s'];
+    returns [0] for the identity move. *)
+
+val delta_cost_row : t -> int -> s2:int -> int array -> unit
+(** [delta_cost_row st v ~s2 out] fills [out.(p')] with
+    [delta_cost st v p' s2] for {e every} processor [p'] at once
+    ([out] must have length [p]). The removal side of the move — [v]
+    leaving its current cell, its producer events, its predecessors'
+    events towards the old processor — is identical for all targets and
+    is accumulated once; only the per-target addition overlay is applied
+    and retracted per processor. This is the hill climber's hot path:
+    inside a node's validity window every processor is a valid target,
+    so a whole row costs one removal plus [p] cheap additions instead of
+    [p] full evaluations. Requires every [(p', s2)] to be a valid move;
+    the identity entry (same processor and superstep) is set to [0]. *)
+
+val delta_cost_cached : t -> int -> int -> int -> int
+(** Same value as {!delta_cost}, but computed as one addition column
+    against the removal base of [v], building it only when no base for
+    [v] is resident from a recent {!delta_cost_row}. Cheaper than
+    {!delta_cost} whenever [v]'s base can be shared between superstep
+    rows — e.g. the single valid candidate at a window-boundary
+    superstep right after a full row of the same node. Requires
+    {!valid_move}[ st v p' s']. *)
+
 val apply_move : t -> int -> int -> int -> unit
 (** Apply unconditionally (caller must have checked validity); updates
     the cost tables incrementally. *)
+
+val iter_last_touched_steps : t -> (int -> unit) -> unit
+(** Iterate over the supersteps touched by the most recent
+    {!delta_cost} call (each exactly once, unspecified order). The
+    record survives a subsequent {!apply_move} of the same candidate, so
+    a worklist can re-enqueue the nodes resident on the disturbed
+    supersteps after accepting a move. Invalidated by the next
+    {!delta_cost}. *)
+
+val check_consistent : t -> unit
+(** Debug helper: verifies the incremental cost table against a
+    from-scratch recomputation and the [first_need]/minimiser-count
+    bookkeeping against the successor lists; raises on any mismatch. *)
 
 val snapshot : t -> Schedule.t
 (** The current assignment as a schedule with lazy communication. *)

@@ -4,22 +4,30 @@ type t = {
   work : int array array;
   send : int array array;
   recv : int array array;
-  step_cost : int array;
+  step_cost_ : int array;
+  (* Per-step maxima, refreshed together with step_cost_. The row
+     evaluator's addition overlays only raise cells above the shared
+     removal base, so a candidate superstep maximum is the cached
+     maximum combined with the touched cells alone — no row rescan. *)
+  work_max_ : int array;
+  comm_max_ : int array;
   mutable total : int;
   dirty : int array;  (* stack of dirty superstep indices *)
   mutable dirty_len : int;
   is_dirty : bool array;
 }
 
-let step_cost_of t s =
+(* Scan one superstep row for its work and h-relation maxima. *)
+let scan_step t s =
   let p = t.machine.Machine.p in
-  let work_max = ref 0 and comm_max = ref 0 in
+  let work_row = t.work.(s) and send_row = t.send.(s) and recv_row = t.recv.(s) in
+  let wm = ref 0 and hm = ref 0 in
   for q = 0 to p - 1 do
-    if t.work.(s).(q) > !work_max then work_max := t.work.(s).(q);
-    let h = max t.send.(s).(q) t.recv.(s).(q) in
-    if h > !comm_max then comm_max := h
+    if work_row.(q) > !wm then wm := work_row.(q);
+    let h = max send_row.(q) recv_row.(q) in
+    if h > !hm then hm := h
   done;
-  !work_max + (t.machine.Machine.g * !comm_max) + t.machine.Machine.l
+  (!wm, !hm)
 
 let create machine ~num_steps =
   let p = machine.Machine.p in
@@ -29,11 +37,13 @@ let create machine ~num_steps =
     work = Array.make_matrix num_steps p 0;
     send = Array.make_matrix num_steps p 0;
     recv = Array.make_matrix num_steps p 0;
-    step_cost = Array.make num_steps machine.Machine.l;
+    step_cost_ = Array.make num_steps machine.Machine.l;
+    work_max_ = Array.make num_steps 0;
+    comm_max_ = Array.make num_steps 0;
     total = num_steps * machine.Machine.l;
-    dirty = Array.make (max num_steps 1) 0;
+    dirty = Array.make num_steps 0;
     dirty_len = 0;
-    is_dirty = Array.make (max num_steps 1) false;
+    is_dirty = Array.make num_steps false;
   }
 
 let num_steps t = t.num_steps
@@ -61,24 +71,38 @@ let refresh t =
   for i = 0 to t.dirty_len - 1 do
     let s = t.dirty.(i) in
     t.is_dirty.(s) <- false;
-    let c = step_cost_of t s in
-    t.total <- t.total + c - t.step_cost.(s);
-    t.step_cost.(s) <- c
+    let wm, hm = scan_step t s in
+    let c = Bsp_cost.superstep_cost t.machine ~work_max:wm ~comm_max:hm in
+    t.work_max_.(s) <- wm;
+    t.comm_max_.(s) <- hm;
+    t.total <- t.total + c - t.step_cost_.(s);
+    t.step_cost_.(s) <- c
   done;
   t.dirty_len <- 0
 
 let total t = t.total
+let step_cost t s = t.step_cost_.(s)
+let step_costs t = t.step_cost_
 
 let work t ~step ~proc = t.work.(step).(proc)
 let send t ~step ~proc = t.send.(step).(proc)
 let recv t ~step ~proc = t.recv.(step).(proc)
 
+let work_matrix t = t.work
+let send_matrix t = t.send
+let recv_matrix t = t.recv
+let work_max t = t.work_max_
+let comm_max t = t.comm_max_
+
 let assert_consistent t =
   if t.dirty_len <> 0 then failwith "Cost_table: refresh pending";
   let sum = ref 0 in
   for s = 0 to t.num_steps - 1 do
-    let c = step_cost_of t s in
-    if c <> t.step_cost.(s) then failwith "Cost_table: stale superstep cost";
+    let wm, hm = scan_step t s in
+    let c = Bsp_cost.superstep_cost t.machine ~work_max:wm ~comm_max:hm in
+    if c <> t.step_cost_.(s) then failwith "Cost_table: stale superstep cost";
+    if wm <> t.work_max_.(s) then failwith "Cost_table: stale work maximum";
+    if hm <> t.comm_max_.(s) then failwith "Cost_table: stale comm maximum";
     sum := !sum + c
   done;
   if !sum <> t.total then failwith "Cost_table: stale total"

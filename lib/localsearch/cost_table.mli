@@ -36,9 +36,35 @@ val refresh : t -> unit
 val total : t -> int
 (** Current total cost; only meaningful right after {!refresh}. *)
 
+val step_cost : t -> int -> int
+(** Cached cost of one superstep; only meaningful right after
+    {!refresh}. Read-only delta evaluation compares a candidate's
+    recomputed superstep cost against this cached value. *)
+
 val work : t -> step:int -> proc:int -> int
 val send : t -> step:int -> proc:int -> int
 val recv : t -> step:int -> proc:int -> int
+
+val step_costs : t -> int array
+(** The cached per-superstep cost vector behind {!step_cost}, as a
+    read-only view (same caveats as the matrix accessors below). *)
+
+val work_matrix : t -> int array array
+val send_matrix : t -> int array array
+val recv_matrix : t -> int array array
+(** Direct views of the [num_steps x p] tables for the read-only delta
+    evaluator, which must scan whole superstep rows in its innermost
+    loop and cannot afford a function call per cell. The caller must
+    treat them as read-only; all mutation goes through {!add_work} /
+    {!add_send} / {!add_recv} so dirtiness tracking stays sound. *)
+
+val work_max : t -> int array
+val comm_max : t -> int array
+(** Per-step cached maxima (work, h-relation), refreshed with
+    {!refresh}. The row evaluator's addition overlays only raise cells
+    above its removal base, so it derives a candidate superstep maximum
+    from these caches and the touched cells alone. Read-only views,
+    valid right after {!refresh}. *)
 
 val assert_consistent : t -> unit
 (** Debug helper: verifies the cached per-superstep costs and total match

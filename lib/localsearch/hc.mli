@@ -13,6 +13,17 @@
     communication event to phase [first_need - 1] and lets a move update
     only the affected supersteps of the incremental {!Cost_table}.
 
+    Candidate moves are costed with the read-only
+    {!Assignment_state.delta_cost}; the state is mutated only for
+    accepted moves. Instead of sweeping the whole DAG until a pass finds
+    nothing, {!improve} keeps a dirty-node worklist: all nodes are
+    seeded, and an accepted move re-enqueues only the nodes whose
+    neighbourhood costs it can have disturbed (the moved node, its
+    predecessors and successors, their other successors, and the nodes
+    resident on the touched supersteps). A final full verification sweep
+    confirms the fixpoint, so the result is a genuine local minimum of
+    the same neighbourhood as the exhaustive sweep.
+
     The number of supersteps is fixed during the search; supersteps that
     become empty are removed by a final {!Schedule.compact}, which can
     only decrease the cost further. *)
@@ -25,13 +36,40 @@ type stats = {
 }
 
 val improve :
-  ?budget:Budget.t -> ?max_moves:int -> Machine.t -> Schedule.t -> Schedule.t * stats
+  ?check:bool ->
+  ?budget:Budget.t ->
+  ?max_moves:int ->
+  Machine.t ->
+  Schedule.t ->
+  Schedule.t * stats
 (** Run the greedy first-improvement search. The input communication
     schedule is replaced by the lazy one (HC is specified over lazy
     schedules — Appendix A); the output cost is therefore measured on the
     lazy schedule too and never exceeds the input's lazy cost.
 
+    [check] (default [false]) cross-validates every read-only delta
+    against an apply/rollback round-trip of the mutating path — the
+    debug-assertion mode the test suite runs in; release and benchmark
+    runs leave it off so rejected candidates stay read-only.
+
     [budget] is ticked once per evaluated candidate move (use it for
     wall-clock limits); [max_moves] caps the number of {e applied}
     improvement moves, which is how the multilevel refinement phase
     bounds its per-level work (Appendix A.5). *)
+
+val improve_reference :
+  ?check:bool ->
+  ?budget:Budget.t ->
+  ?max_moves:int ->
+  Machine.t ->
+  Schedule.t ->
+  Schedule.t * stats
+(** The original engine: exhaustive sweeps over all nodes until a full
+    pass finds no improvement, with every candidate costed by mutating
+    the state and rolling back on rejection. Retained as the
+    differential-testing baseline for {!improve} and as the benchmark
+    reference the delta/worklist speedup is measured against ([check]
+    re-verifies the rollback, as the seed implementation asserted
+    unconditionally). Same first-improvement rule and candidate order,
+    so both engines terminate in local minima of the same
+    neighbourhood. *)

@@ -88,6 +88,32 @@ let improve ?(budget = Budget.unlimited) machine (sched : Schedule.t) =
     Schedule.make dag ~proc:sched.Schedule.proc ~step:sched.Schedule.step ~comm
   in
   let initial_cost = Cost_table.total table in
+  (* Read-only delta of moving an event to phase [s]: only the source's
+     send column and the destination's receive column of the two touched
+     phases change, so re-derive those two superstep maxima against the
+     cached per-step costs without mutating the table. *)
+  let p = machine.Machine.p in
+  let step_cost_with ~s ~src ~dst dvol =
+    let work_m = Cost_table.work_matrix table in
+    let send_m = Cost_table.send_matrix table in
+    let recv_m = Cost_table.recv_matrix table in
+    let work_row = work_m.(s) and send_row = send_m.(s) and recv_row = recv_m.(s) in
+    let work_max = ref 0 and comm_max = ref 0 in
+    for q = 0 to p - 1 do
+      if work_row.(q) > !work_max then work_max := work_row.(q);
+      let snd = send_row.(q) + if q = src then dvol else 0 in
+      let rcv = recv_row.(q) + if q = dst then dvol else 0 in
+      let h = if snd > rcv then snd else rcv in
+      if h > !comm_max then comm_max := h
+    done;
+    Bsp_cost.superstep_cost machine ~work_max:!work_max ~comm_max:!comm_max
+  in
+  let delta_of pair s =
+    step_cost_with ~s:pair.cur ~src:pair.src ~dst:pair.dst (-pair.vol)
+    + step_cost_with ~s ~src:pair.src ~dst:pair.dst pair.vol
+    - Cost_table.step_cost table pair.cur
+    - Cost_table.step_cost table s
+  in
   let moves_applied = ref 0 and moves_evaluated = ref 0 in
   let improved_any = ref true in
   while !improved_any && not (Budget.exhausted budget) do
@@ -100,21 +126,13 @@ let improve ?(budget = Budget.unlimited) machine (sched : Schedule.t) =
             if !s <> pair.cur then begin
               ignore (Budget.tick budget : bool);
               incr moves_evaluated;
-              let before = Cost_table.total table in
-              let old = pair.cur in
-              place pair (-1);
-              pair.cur <- !s;
-              place pair 1;
-              Cost_table.refresh table;
-              if Cost_table.total table < before then begin
+              if delta_of pair !s < 0 then begin
+                place pair (-1);
+                pair.cur <- !s;
+                place pair 1;
+                Cost_table.refresh table;
                 incr moves_applied;
                 improved_any := true
-              end
-              else begin
-                place pair (-1);
-                pair.cur <- old;
-                place pair 1;
-                Cost_table.refresh table
               end
             end;
             incr s

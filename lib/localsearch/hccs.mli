@@ -10,9 +10,12 @@
 
     The search greedily moves single events to a different phase of
     their window while this strictly decreases the total cost, reusing
-    the incremental {!Cost_table}. Spreading transfers over earlier,
-    underused phases flattens h-relation peaks — the gain the lazy
-    schedule leaves on the table. *)
+    the incremental {!Cost_table}. Candidates are costed read-only (the
+    two touched superstep maxima are re-derived against the cached
+    per-step costs) and the table is mutated only for accepted moves, so
+    rejections never pay the mutate/refresh/rollback cycle. Spreading
+    transfers over earlier, underused phases flattens h-relation peaks —
+    the gain the lazy schedule leaves on the table. *)
 
 type stats = {
   moves_applied : int;

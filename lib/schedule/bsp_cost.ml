@@ -10,6 +10,9 @@ type breakdown = {
   supersteps : superstep array;
 }
 
+let superstep_cost machine ~work_max ~comm_max =
+  work_max + (machine.Machine.g * comm_max) + machine.Machine.l
+
 let tables machine (t : Schedule.t) ~num_steps =
   let p = machine.Machine.p in
   let work = Array.make_matrix num_steps p 0 in
@@ -45,7 +48,7 @@ let breakdown machine (t : Schedule.t) =
         {
           work_max = !work_max;
           comm_max = !comm_max;
-          cost = !work_max + (machine.Machine.g * !comm_max) + machine.Machine.l;
+          cost = superstep_cost machine ~work_max:!work_max ~comm_max:!comm_max;
         })
   in
   let work_total = Array.fold_left (fun acc s -> acc + s.work_max) 0 supersteps in

@@ -29,6 +29,12 @@ type breakdown = {
 val total : Machine.t -> Schedule.t -> int
 (** Total schedule cost. Does not verify validity. *)
 
+val superstep_cost : Machine.t -> work_max:int -> comm_max:int -> int
+(** [superstep_cost m ~work_max ~comm_max] is
+    [work_max + g * comm_max + l] — the single-superstep cost formula,
+    shared with the incremental cost tables of the local search so the
+    two can never drift apart. *)
+
 val breakdown : Machine.t -> Schedule.t -> breakdown
 
 val tables :

@@ -46,4 +46,18 @@ let rec tick t =
     true
   end
 
+let rec ticks t k =
+  if k <= 0 then not (exhausted t)
+  else if exhausted t then false
+  else begin
+    (match t.kind with
+     | Unlimited | Deadline _ -> ()
+     | Steps s -> s.remaining <- s.remaining - k
+     | Pair (a, b) ->
+       ignore (ticks a k : bool);
+       ignore (ticks b k : bool));
+    t.used <- t.used + k;
+    true
+  end
+
 let used_steps t = t.used

@@ -26,6 +26,13 @@ val tick : t -> bool
 (** Consume one unit of work; [true] if the budget still allows more
     work, [false] once exhausted. Once exhausted, stays exhausted. *)
 
+val ticks : t -> int -> bool
+(** [ticks t k] consumes [k] units at once — one exhaustion probe
+    instead of [k], for consumers whose per-unit work is far cheaper
+    than a tick (the delta-evaluating hill climber decides whole blocks
+    of candidates in O(1)). A step budget may overshoot by at most the
+    final batch; exhaustion is still detected on the next probe. *)
+
 val exhausted : t -> bool
 (** Non-consuming check. *)
 

@@ -23,14 +23,26 @@ let test_cost_table_incremental () =
   check "after removal" (0 + 6 + 8) (Cost_table.total t);
   Cost_table.assert_consistent t
 
+let test_cost_table_empty () =
+  (* A schedule with no supersteps (empty DAG) must give a working,
+     zero-cost table rather than tripping on empty backing arrays. *)
+  let m = Machine.uniform ~p:2 ~g:3 ~l:7 in
+  let t = Cost_table.create m ~num_steps:0 in
+  check "empty total" 0 (Cost_table.total t);
+  Cost_table.refresh t;
+  Cost_table.assert_consistent t;
+  check "still empty" 0 (Cost_table.total t)
+
 let test_hc_improves_bad_schedule () =
-  (* A chain scattered across processors: HC should pull it together. *)
+  (* A chain scattered across processors: HC should pull it together.
+     check:true cross-validates every read-only delta against the
+     mutating path. *)
   let dag = Test_util.chain 6 in
   let m = Machine.uniform ~p:3 ~g:5 ~l:2 in
   let bad =
     Schedule.of_assignment dag ~proc:[| 0; 1; 2; 0; 1; 2 |] ~step:[| 0; 1; 2; 3; 4; 5 |]
   in
-  let improved, stats = Hc.improve m bad in
+  let improved, stats = Hc.improve ~check:true m bad in
   check_bool "valid" true (Validity.is_valid m improved);
   check_bool "strictly better" true (stats.Hc.final_cost < stats.Hc.initial_cost);
   check_bool "moves applied" true (stats.Hc.moves_applied > 0)
@@ -40,8 +52,31 @@ let test_hc_respects_max_moves () =
   let dag = Test_util.random_dag rng ~n:30 ~edge_prob:0.15 ~max_w:4 ~max_c:3 in
   let m = Machine.uniform ~p:4 ~g:3 ~l:2 in
   let s = start_schedule rng dag 4 in
-  let _, stats = Hc.improve ~max_moves:2 m s in
+  let _, stats = Hc.improve ~check:true ~max_moves:2 m s in
   check_bool "capped" true (stats.Hc.moves_applied <= 2)
+
+let test_worklist_matches_reference () =
+  (* The worklist engine explores the same neighbourhood as the
+     exhaustive apply/rollback sweep it replaced, but once a move is
+     accepted the scan orders diverge, so the two can settle in
+     different — equally locally optimal — minima. Two guarantees are
+     checked: the worklist result is a genuine local minimum (its final
+     verification sweep implies the reference finds nothing left to
+     improve), and on these instances its final cost is no worse than
+     the reference's. *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dag = Test_util.random_dag rng ~n:40 ~edge_prob:0.12 ~max_w:5 ~max_c:4 in
+      let m = Machine.uniform ~p:4 ~g:3 ~l:2 in
+      let s = start_schedule rng dag 4 in
+      let worklist_sched, worklist = Hc.improve ~check:true m s in
+      let _, reference = Hc.improve_reference ~check:true m s in
+      let _, at_fixpoint = Hc.improve_reference ~check:true m worklist_sched in
+      check "worklist result is a local minimum" 0 at_fixpoint.Hc.moves_applied;
+      check_bool "worklist no worse than reference" true
+        (worklist.Hc.final_cost <= reference.Hc.final_cost))
+    [ 1; 3; 9; 10; 25 ]
 
 let test_hc_local_minimum_stable () =
   (* Running HC twice: the second run finds no further improvement. *)
@@ -49,8 +84,8 @@ let test_hc_local_minimum_stable () =
   let dag = Test_util.random_dag rng ~n:25 ~edge_prob:0.2 ~max_w:3 ~max_c:3 in
   let m = Machine.uniform ~p:2 ~g:2 ~l:3 in
   let s = start_schedule rng dag 2 in
-  let once, _ = Hc.improve m s in
-  let _twice, stats = Hc.improve m once in
+  let once, _ = Hc.improve ~check:true m s in
+  let _twice, stats = Hc.improve ~check:true m once in
   check "no moves at local minimum" 0 stats.Hc.moves_applied
 
 let test_hccs_hides_traffic_behind_peak () =
@@ -92,7 +127,7 @@ let prop_hc_never_worse_and_valid =
       let rng = Rng.create seed in
       let s = start_schedule rng dag m.Machine.p in
       let before = Bsp_cost.total m s in
-      let improved, stats = Hc.improve m s in
+      let improved, stats = Hc.improve ~check:true m s in
       Validity.is_valid m improved
       && stats.Hc.final_cost <= before
       && Bsp_cost.total m improved = stats.Hc.final_cost)
@@ -115,8 +150,64 @@ let prop_hc_final_cost_exact =
   Test_util.qtest ~count:60 "hc reported cost exact" gen3 (fun (dag, (m, seed)) ->
       let rng = Rng.create seed in
       let s = start_schedule rng dag m.Machine.p in
-      let improved, stats = Hc.improve ~max_moves:5 m s in
+      let improved, stats = Hc.improve ~check:true ~max_moves:5 m s in
       Bsp_cost.total m improved = stats.Hc.final_cost)
+
+(* Drive the shared incremental state through random valid move
+   sequences: every read-only evaluation path (pairwise, base-cached,
+   whole-row) must predict exactly the cost change apply_move then
+   produces, the running total must equal the from-scratch cost of the
+   snapshot, and the first_need/cost-table bookkeeping must stay
+   internally consistent. *)
+let prop_delta_matches_apply =
+  Test_util.qtest ~count:40 "delta evaluation matches apply_move" gen3
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let p = m.Machine.p in
+      let n = Dag.n dag in
+      let s = start_schedule rng dag p in
+      let st = Assignment_state.init m s in
+      let row_out = Array.make p 0 in
+      let ok = ref true in
+      if n > 0 && Assignment_state.num_steps st > 0 then
+        for _trial = 1 to 30 do
+          let v = Rng.int rng n in
+          let s2 = Assignment_state.step st v + (Rng.int rng 3 - 1) in
+          let p2 = Rng.int rng p in
+          if Assignment_state.valid_move st v p2 s2 then begin
+            let d = Assignment_state.delta_cost st v p2 s2 in
+            if Assignment_state.delta_cost_cached st v p2 s2 <> d then ok := false;
+            let row_valid = ref true in
+            for q = 0 to p - 1 do
+              if not (Assignment_state.valid_move st v q s2) then row_valid := false
+            done;
+            if !row_valid then begin
+              Assignment_state.delta_cost_row st v ~s2 row_out;
+              for q = 0 to p - 1 do
+                let expect =
+                  if q = p2 then d else Assignment_state.delta_cost st v q s2
+                in
+                if row_out.(q) <> expect then ok := false
+              done
+            end;
+            let before = Assignment_state.total_cost st in
+            Assignment_state.apply_move st v p2 s2;
+            if Assignment_state.total_cost st <> before + d then ok := false;
+            (* The state keeps the superstep count fixed, so its total
+               includes l for trailing supersteps a move emptied; the
+               snapshot drops them (Schedule.compact would too). *)
+            let snap = Assignment_state.snapshot st in
+            let trailing =
+              Assignment_state.num_steps st - Schedule.num_supersteps snap
+            in
+            if
+              Assignment_state.total_cost st
+              <> Bsp_cost.total m snap + (m.Machine.l * trailing)
+            then ok := false;
+            Assignment_state.check_consistent st
+          end
+        done;
+      !ok)
 
 let () =
   Alcotest.run "localsearch"
@@ -124,9 +215,12 @@ let () =
       ( "unit",
         [
           Alcotest.test_case "cost table incremental" `Quick test_cost_table_incremental;
+          Alcotest.test_case "cost table empty" `Quick test_cost_table_empty;
           Alcotest.test_case "hc improves bad schedule" `Quick test_hc_improves_bad_schedule;
           Alcotest.test_case "hc max moves" `Quick test_hc_respects_max_moves;
           Alcotest.test_case "hc local minimum stable" `Quick test_hc_local_minimum_stable;
+          Alcotest.test_case "worklist matches reference" `Quick
+            test_worklist_matches_reference;
           Alcotest.test_case "hccs hides traffic behind peak" `Quick
             test_hccs_hides_traffic_behind_peak;
           Alcotest.test_case "hccs no freedom" `Quick test_hccs_noop_when_no_freedom;
@@ -136,5 +230,6 @@ let () =
           prop_hc_never_worse_and_valid;
           prop_hccs_never_worse_and_valid;
           prop_hc_final_cost_exact;
+          prop_delta_matches_apply;
         ] );
     ]
