@@ -20,7 +20,26 @@ let algorithms =
     ("trivial", `Trivial);
   ]
 
-let run input p g l delta machine_file algorithm seconds output seed quiet show =
+let run input p g l delta machine_file algorithm seconds output seed quiet show metrics
+    trace =
+  let registry =
+    if metrics <> None || trace then begin
+      let r = Obs.Metrics.create () in
+      Obs.Metrics.install r;
+      Some r
+    end
+    else None
+  in
+  if trace then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info);
+    Option.iter
+      (fun r ->
+        Obs.Metrics.on_span_close r (fun ~path ~seconds ~steps ->
+            Logs.app ~src:Obs.Metrics.src (fun m ->
+                m "stage %-24s %8.3fs %10d steps" path seconds steps)))
+      registry
+  end;
   let dag = Hyperdag_io.read_file input in
   let machine =
     match machine_file with
@@ -34,16 +53,17 @@ let run input p g l delta machine_file algorithm seconds output seed quiet show 
     { Pipeline.thorough_limits with Pipeline.stage_seconds = Some (seconds /. 6.0) }
   in
   let schedule =
-    match List.assoc algorithm algorithms with
-    | `Pipeline -> fst (Pipeline.run ~limits machine dag)
-    | `Multilevel -> Pipeline.run_multilevel ~limits machine dag
-    | `Cilk -> Cilk.schedule dag ~p ~seed
-    | `Hdagg -> Hdagg.schedule machine dag
-    | `Bl_est -> List_scheduler.schedule List_scheduler.Bl_est machine dag
-    | `Etf -> List_scheduler.schedule List_scheduler.Etf machine dag
-    | `Bspg -> Bspg.schedule machine dag
-    | `Source -> Source_heuristic.schedule machine dag
-    | `Trivial -> Schedule.trivial dag
+    Obs.Metrics.with_span ("scheduler:" ^ algorithm) (fun () ->
+        match List.assoc algorithm algorithms with
+        | `Pipeline -> fst (Pipeline.run ~limits machine dag)
+        | `Multilevel -> Pipeline.run_multilevel ~limits machine dag
+        | `Cilk -> Cilk.schedule dag ~p ~seed
+        | `Hdagg -> Hdagg.schedule machine dag
+        | `Bl_est -> List_scheduler.schedule List_scheduler.Bl_est machine dag
+        | `Etf -> List_scheduler.schedule List_scheduler.Etf machine dag
+        | `Bspg -> Bspg.schedule machine dag
+        | `Source -> Source_heuristic.schedule machine dag
+        | `Trivial -> Schedule.trivial dag)
   in
   (match Validity.check machine schedule with
    | Ok () -> ()
@@ -62,11 +82,20 @@ let run input p g l delta machine_file algorithm seconds output seed quiet show 
   end
   else Printf.printf "%d\n" b.Bsp_cost.total;
   if show then print_string (Schedule_render.to_string machine schedule);
-  match output with
+  (match output with
+   | None -> ()
+   | Some path ->
+     Schedule_io.write_file path schedule;
+     if not quiet then Printf.printf "schedule written to %s\n" path);
+  match registry with
   | None -> ()
-  | Some path ->
-    Schedule_io.write_file path schedule;
-    if not quiet then Printf.printf "schedule written to %s\n" path
+  | Some r ->
+    if trace then Obs.Metrics.log_summary r;
+    (match metrics with
+     | None -> ()
+     | Some path ->
+       Obs.Metrics.write_json_file r path;
+       if not quiet then Printf.printf "metrics written to %s\n" path)
 
 let input =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"HyperDAG input file.")
@@ -124,11 +153,28 @@ let machine_file =
 let show =
   Arg.(value & flag & info [ "show" ] ~doc:"Print a per-superstep schedule rendering.")
 
+let metrics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write an observability snapshot (counters, gauges, cost trajectory, per-stage \
+           spans with budget steps) as JSON to $(docv).")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Log a summary line as each pipeline stage finishes (wall-clock seconds and \
+           budget steps consumed), plus a final metrics summary.")
+
 let cmd =
   let doc = "schedule a computational DAG in the BSP+NUMA model" in
   Cmd.v
     (Cmd.info "scheduler" ~doc)
     Term.(const run $ input $ p $ g $ l $ delta $ machine_file $ algorithm_name $ seconds
-          $ output $ seed $ quiet $ show)
+          $ output $ seed $ quiet $ show $ metrics $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -74,19 +74,26 @@ let stage_budget limits evals =
    of the time budget realised through the two eval caps. A greedy
    superstep-merge pass in between crosses the plateau single-node moves
    cannot (emptying a superstep is cost-neutral move by move). *)
-let local_search limits machine sched =
+let local_search ?(label = "init") limits machine sched =
+  (* Stage budgets are hoisted out of the spans so each span's
+     [steps_used] is exactly the stage's consumption of its own fresh
+     budget (deadline clocks start at creation, so create late). *)
+  let hc_budget = stage_budget limits limits.hc_evals in
   let hc, _ =
-    Hc.improve ~check:limits.hc_check
-      ~budget:(stage_budget limits limits.hc_evals)
-      machine sched
+    Obs.Metrics.with_span ~budget:hc_budget ("hc:" ^ label) (fun () ->
+        Hc.improve ~check:limits.hc_check ~budget:hc_budget machine sched)
   in
   let hc = Superstep_merge.greedy machine (Schedule.compact hc) in
-  let hccs, _ = Hccs.improve ~budget:(stage_budget limits limits.hccs_evals) machine hc in
+  let hccs_budget = stage_budget limits limits.hccs_evals in
+  let hccs, _ =
+    Obs.Metrics.with_span ~budget:hccs_budget ("hccs:" ^ label) (fun () ->
+        Hccs.improve ~budget:hccs_budget machine hc)
+  in
   hccs
 
 let cost machine s = Bsp_cost.total machine s
 
-let run ?(limits = default_limits) ?(with_trivial_init = true) machine dag =
+let run_stages ~limits ~with_trivial_init machine dag =
   let inits =
     [
       ("bspg", fun () -> Bspg.schedule machine dag);
@@ -120,9 +127,15 @@ let run ?(limits = default_limits) ?(with_trivial_init = true) machine dag =
   let candidates =
     List.map
       (fun (name, f) ->
-        let init = f () in
-        let improved = local_search limits machine init in
-        (name, cost machine init, improved, cost machine improved))
+        let init = Obs.Metrics.with_span ("init:" ^ name) f in
+        let init_cost = cost machine init in
+        Obs.Metrics.series_point "pipeline.init_cost" ~label:name
+          (float_of_int init_cost);
+        let improved = local_search ~label:name limits machine init in
+        let improved_cost = cost machine improved in
+        Obs.Metrics.series_point "pipeline.after_local_search" ~label:name
+          (float_of_int improved_cost);
+        (name, init_cost, improved, improved_cost))
       inits
   in
   let best_init_name, init_cost, best, best_cost =
@@ -134,15 +147,17 @@ let run ?(limits = default_limits) ?(with_trivial_init = true) machine dag =
         first rest
   in
   let after_local_search = best_cost in
+  Obs.Metrics.series_point "pipeline.best_cost" ~label:"local_search"
+    (float_of_int best_cost);
   let best = ref best and best_cost = ref best_cost in
   let ilp_full_optimal = ref false in
   if limits.use_ilp then begin
     (* ILPfull on small models; skip the rest when it proved optimality. *)
+    let full_budget = stage_budget limits limits.ilp_full_nodes in
     let full_sched, full_report =
-      Ilp_schedulers.full
-        ~budget:(stage_budget limits limits.ilp_full_nodes)
-        ~max_vars:limits.ilp_full_max_vars ~max_nodes:limits.ilp_full_nodes machine
-        (Schedule.with_lazy_comm !best)
+      Obs.Metrics.with_span ~budget:full_budget "ilp_full" (fun () ->
+          Ilp_schedulers.full ~budget:full_budget ~max_vars:limits.ilp_full_max_vars
+            ~max_nodes:limits.ilp_full_nodes machine (Schedule.with_lazy_comm !best))
     in
     ilp_full_optimal :=
       full_report.Ilp_schedulers.sub_solves > 0 && full_report.Ilp_schedulers.proven_optimal;
@@ -150,36 +165,46 @@ let run ?(limits = default_limits) ?(with_trivial_init = true) machine dag =
       best := full_sched;
       best_cost := cost machine full_sched
     end;
+    Obs.Metrics.series_point "pipeline.best_cost" ~label:"ilp_full"
+      (float_of_int !best_cost);
     if not !ilp_full_optimal then begin
+      let part_budget = stage_budget limits limits.ilp_part_nodes in
       let part_sched, _ =
-        Ilp_schedulers.part
-          ~budget:(stage_budget limits limits.ilp_part_nodes)
-          ~max_vars:limits.ilp_part_max_vars ~max_nodes:limits.ilp_part_nodes machine
-          (Schedule.with_lazy_comm !best)
+        Obs.Metrics.with_span ~budget:part_budget "ilp_part" (fun () ->
+            Ilp_schedulers.part ~budget:part_budget ~max_vars:limits.ilp_part_max_vars
+              ~max_nodes:limits.ilp_part_nodes machine (Schedule.with_lazy_comm !best))
       in
       (* The partial ILP reasons over lazy communication; give its result
          the same HCcs polish before comparing. *)
+      let polish_budget = stage_budget limits limits.hccs_evals in
       let part_sched, _ =
-        Hccs.improve ~budget:(stage_budget limits limits.hccs_evals) machine part_sched
+        Obs.Metrics.with_span ~budget:polish_budget "hccs:ilp_part" (fun () ->
+            Hccs.improve ~budget:polish_budget machine part_sched)
       in
       if cost machine part_sched < !best_cost then begin
         best := part_sched;
         best_cost := cost machine part_sched
-      end
+      end;
+      Obs.Metrics.series_point "pipeline.best_cost" ~label:"ilp_part"
+        (float_of_int !best_cost)
     end
   end;
   let after_ilp_part = !best_cost in
   if limits.use_ilp && not !ilp_full_optimal then begin
+    let cs_budget = stage_budget limits limits.ilp_cs_nodes in
     let cs_sched, _ =
-      Ilp_schedulers.comm_schedule
-        ~budget:(stage_budget limits limits.ilp_cs_nodes)
-        ~max_vars:limits.ilp_cs_max_vars ~max_nodes:limits.ilp_cs_nodes machine !best
+      Obs.Metrics.with_span ~budget:cs_budget "ilp_cs" (fun () ->
+          Ilp_schedulers.comm_schedule ~budget:cs_budget
+            ~max_vars:limits.ilp_cs_max_vars ~max_nodes:limits.ilp_cs_nodes machine !best)
     in
     if cost machine cs_sched < !best_cost then begin
       best := cs_sched;
       best_cost := cost machine cs_sched
     end
   end;
+  Obs.Metrics.series_point "pipeline.best_cost" ~label:"final"
+    (float_of_int !best_cost);
+  Obs.Metrics.gauge "pipeline.final_cost" (float_of_int !best_cost);
   ( !best,
     {
       best_init_name;
@@ -189,6 +214,10 @@ let run ?(limits = default_limits) ?(with_trivial_init = true) machine dag =
       final_cost = !best_cost;
       ilp_full_optimal = !ilp_full_optimal;
     } )
+
+let run ?(limits = default_limits) ?(with_trivial_init = true) machine dag =
+  Obs.Metrics.with_span "pipeline" (fun () ->
+      run_stages ~limits ~with_trivial_init machine dag)
 
 (* The base pipeline as a multilevel solving-phase callback: ILPcs is
    withheld until after uncoarsening (Figure 4). *)
@@ -203,14 +232,17 @@ let base_solver limits machine dag =
 let default_solver_limits limits = limits
 
 let polish_comm limits machine sched =
+  let hccs_budget = stage_budget limits limits.hccs_evals in
   let hccs, _ =
-    Hccs.improve ~budget:(stage_budget limits limits.hccs_evals) machine sched
+    Obs.Metrics.with_span ~budget:hccs_budget "hccs:polish" (fun () ->
+        Hccs.improve ~budget:hccs_budget machine sched)
   in
   if limits.use_ilp then begin
+    let cs_budget = stage_budget limits limits.ilp_cs_nodes in
     let cs, _ =
-      Ilp_schedulers.comm_schedule
-        ~budget:(stage_budget limits limits.ilp_cs_nodes)
-        ~max_vars:limits.ilp_cs_max_vars ~max_nodes:limits.ilp_cs_nodes machine hccs
+      Obs.Metrics.with_span ~budget:cs_budget "ilp_cs:polish" (fun () ->
+          Ilp_schedulers.comm_schedule ~budget:cs_budget
+            ~max_vars:limits.ilp_cs_max_vars ~max_nodes:limits.ilp_cs_nodes machine hccs)
     in
     if cost machine cs < cost machine hccs then cs else hccs
   end
@@ -218,12 +250,14 @@ let polish_comm limits machine sched =
 
 let run_multilevel_ratio ?(limits = default_limits) ?solver_limits ~ratio machine dag =
   let solver_limits = Option.value ~default:(default_solver_limits limits) solver_limits in
+  let ml_budget = stage_budget limits limits.hc_evals in
   let sched =
-    Multilevel.run_ratio
-      ~budget:(stage_budget limits limits.hc_evals)
-      ~refine_interval:Multilevel.default_config.Multilevel.refine_interval
-      ~refine_moves:Multilevel.default_config.Multilevel.refine_moves
-      ~solver:(base_solver solver_limits) ~ratio machine dag
+    Obs.Metrics.with_span ~budget:ml_budget (Printf.sprintf "multilevel:%g" ratio)
+      (fun () ->
+        Multilevel.run_ratio ~budget:ml_budget
+          ~refine_interval:Multilevel.default_config.Multilevel.refine_interval
+          ~refine_moves:Multilevel.default_config.Multilevel.refine_moves
+          ~solver:(base_solver solver_limits) ~ratio machine dag)
   in
   polish_comm limits machine sched
 
@@ -263,7 +297,14 @@ let run_auto ?(limits = default_limits) ?solver_limits ?threshold machine dag =
         None candidates
     in
     match best_ml with
-    | Some ml when cost machine ml < stage.final_cost -> (ml, Multilevel_chosen)
-    | _ -> (base, Base)
+    | Some ml when cost machine ml < stage.final_cost ->
+      Obs.Metrics.gauge "pipeline.auto_multilevel" 1.0;
+      (ml, Multilevel_chosen)
+    | _ ->
+      Obs.Metrics.gauge "pipeline.auto_multilevel" 0.0;
+      (base, Base)
   end
-  else (base, Base)
+  else begin
+    Obs.Metrics.gauge "pipeline.auto_multilevel" 0.0;
+    (base, Base)
+  end

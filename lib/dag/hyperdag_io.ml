@@ -40,13 +40,26 @@ let of_string text =
     |> List.map String.trim
     |> List.filter (fun l -> l <> "" && l.[0] <> '%')
   in
+  (* Tokenize on any whitespace: real HyperDAG_DB files mix spaces,
+     tabs, and CRLF line endings. *)
   let parse_ints line =
-    String.split_on_char ' ' line
-    |> List.filter (fun s -> s <> "")
-    |> List.map (fun s ->
-           match int_of_string_opt s with
-           | Some i -> i
-           | None -> failwith ("Hyperdag_io: not an integer: " ^ s))
+    let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+    let n = String.length line in
+    let rec go i acc =
+      if i >= n then List.rev acc
+      else if is_ws line.[i] then go (i + 1) acc
+      else begin
+        let j = ref i in
+        while !j < n && not (is_ws line.[!j]) do
+          incr j
+        done;
+        let tok = String.sub line i (!j - i) in
+        match int_of_string_opt tok with
+        | Some v -> go !j (v :: acc)
+        | None -> failwith ("Hyperdag_io: not an integer: " ^ tok)
+      end
+    in
+    go 0 []
   in
   match lines with
   | [] -> failwith "Hyperdag_io: empty input"
@@ -79,27 +92,25 @@ let of_string text =
       pins;
     let work = Array.make num_n 1 in
     let comm = Array.make num_n 1 in
-    List.iteri
-      (fun i line ->
-        if i < num_n then
-          match parse_ints line with
-          | [ v; w; c ] ->
-            if v < 0 || v >= num_n then failwith "Hyperdag_io: weight node id out of range";
-            work.(v) <- w;
-            comm.(v) <- c
-          | _ -> failwith "Hyperdag_io: weight line must be <node> <work> <comm>")
+    (if List.length weight_lines > num_n then
+       failwith
+         (Printf.sprintf
+            "Hyperdag_io: %d lines after the %d declared weight lines"
+            (List.length weight_lines - num_n)
+            num_n));
+    List.iter
+      (fun line ->
+        match parse_ints line with
+        | [ v; w; c ] ->
+          if v < 0 || v >= num_n then failwith "Hyperdag_io: weight node id out of range";
+          work.(v) <- w;
+          comm.(v) <- c
+        | _ -> failwith "Hyperdag_io: weight line must be <node> <work> <comm>")
       weight_lines;
     (try Dag.of_edges ~n:num_n ~edges:!edges ~work ~comm
      with Invalid_argument msg -> failwith ("Hyperdag_io: " ^ msg))
 
-let read ic =
-  let buf = Buffer.create 4096 in
-  (try
-     while true do
-       Buffer.add_channel buf ic 1
-     done
-   with End_of_file -> ());
-  of_string (Buffer.contents buf)
+let read ic = of_string (In_channel.input_all ic)
 
 let read_file path =
   let ic = open_in path in

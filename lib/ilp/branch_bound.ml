@@ -8,7 +8,7 @@ type outcome = {
 
 let int_tol = 1e-6
 
-let solve ?(budget = Budget.unlimited) ?(cutoff = infinity) ?(max_nodes = 20000)
+let solve ?(budget = Budget.unlimited ()) ?(cutoff = infinity) ?(max_nodes = 20000)
     ?(max_pivots = 1200) model =
   let nbin_vars =
     let acc = ref [] in
@@ -21,6 +21,7 @@ let solve ?(budget = Budget.unlimited) ?(cutoff = infinity) ?(max_nodes = 20000)
   let incumbent_obj = ref cutoff in
   let nodes = ref 0 in
   let lp_failures = ref 0 in
+  let incumbent_updates = ref 0 in
   let complete = ref true in
   let rec explore fix =
     if !nodes >= max_nodes || Budget.exhausted budget then complete := false
@@ -60,7 +61,8 @@ let solve ?(budget = Budget.unlimited) ?(cutoff = infinity) ?(max_nodes = 20000)
             let sol = Array.copy x in
             Array.iter (fun v -> sol.(v) <- Float.round sol.(v)) nbin_vars;
             incumbent := Some sol;
-            incumbent_obj := obj
+            incumbent_obj := obj;
+            incr incumbent_updates
           end
           else begin
             let v = !branch_var in
@@ -72,6 +74,10 @@ let solve ?(budget = Budget.unlimited) ?(cutoff = infinity) ?(max_nodes = 20000)
     end
   in
   explore [];
+  Obs.Metrics.counter "bb.solves" 1;
+  Obs.Metrics.counter "bb.nodes_explored" !nodes;
+  Obs.Metrics.counter "bb.lp_failures" !lp_failures;
+  Obs.Metrics.counter "bb.incumbent_updates" !incumbent_updates;
   {
     solution = !incumbent;
     objective = !incumbent_obj;

@@ -21,7 +21,7 @@ type stats = {
   final_cost : int;
 }
 
-let improve ?(budget = Budget.unlimited) ?config machine sched =
+let improve ?(budget = Budget.unlimited ()) ?config machine sched =
   let dag = sched.Schedule.dag in
   let n = Dag.n dag in
   let initial = Schedule.with_lazy_comm sched in
@@ -87,6 +87,11 @@ let improve ?(budget = Budget.unlimited) ?config machine sched =
       temperature := Float.max 1e-3 (!temperature *. config.cooling);
       incr sweep
     done;
+    Obs.Metrics.counter "annealing.runs" 1;
+    Obs.Metrics.counter "annealing.sweeps" !sweep;
+    Obs.Metrics.counter "annealing.moves_accepted" !accepted;
+    Obs.Metrics.counter "annealing.moves_rejected" !rejected;
+    Obs.Metrics.counter "annealing.uphill_accepted" !uphill;
     let result = Schedule.of_assignment dag ~proc:best_proc ~step:best_step in
     ( result,
       {

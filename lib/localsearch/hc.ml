@@ -34,7 +34,7 @@ let try_move ~check st v p2 s2 =
     false
   end
 
-let improve ?(check = false) ?(budget = Budget.unlimited) ?max_moves machine sched =
+let improve ?(check = false) ?(budget = Budget.unlimited ()) ?max_moves machine sched =
   let dag = sched.Schedule.dag in
   let n = Dag.n dag in
   let initial = Schedule.with_lazy_comm sched in
@@ -49,21 +49,31 @@ let improve ?(check = false) ?(budget = Budget.unlimited) ?max_moves machine sch
     let move_cap = match max_moves with None -> max_int | Some m -> m in
     let stop () = !moves_applied >= move_cap || Budget.exhausted budget in
     (* Dirty-node worklist: a FIFO ring (capacity n + 1 suffices since a
-       node is enqueued at most once at a time) plus a membership flag. *)
+       node is enqueued at most once at a time) plus a membership flag.
+       The local length/peak/total counters feed the observability layer
+       at the end of the run. *)
     let queue = Array.make (n + 1) 0 in
     let head = ref 0 and tail = ref 0 in
     let queued = Array.make n false in
+    let enqueued_total = ref 0 in
+    let queue_len = ref 0 in
+    let queue_peak = ref 0 in
+    let sweeps = ref 0 and sweep_hits = ref 0 in
     let enqueue v =
       if not queued.(v) then begin
         queued.(v) <- true;
         queue.(!tail) <- v;
-        tail := (!tail + 1) mod (n + 1)
+        tail := (!tail + 1) mod (n + 1);
+        incr enqueued_total;
+        incr queue_len;
+        if !queue_len > !queue_peak then queue_peak := !queue_len
       end
     in
     let dequeue () =
       let v = queue.(!head) in
       head := (!head + 1) mod (n + 1);
       queued.(v) <- false;
+      decr queue_len;
       v
     in
     let queue_empty () = !head = !tail in
@@ -216,15 +226,24 @@ let improve ?(check = false) ?(budget = Budget.unlimited) ?max_moves machine sch
            pass; any improvement found re-seeds the worklist. This keeps
            the termination guarantee of the exhaustive sweep (the result
            is a genuine local minimum) at delta-evaluation prices. *)
+        incr sweeps;
         let any = ref false in
         let v = ref 0 in
         while !v < n && not (stop ()) do
           if scan_node !v then any := true;
           incr v
         done;
+        if !any then incr sweep_hits;
         continue := !any
       end
     done;
+    Obs.Metrics.counter "hc.runs" 1;
+    Obs.Metrics.counter "hc.moves_evaluated" !moves_evaluated;
+    Obs.Metrics.counter "hc.moves_applied" !moves_applied;
+    Obs.Metrics.counter "hc.worklist_enqueued" !enqueued_total;
+    Obs.Metrics.gauge_max "hc.worklist_peak" (float_of_int !queue_peak);
+    Obs.Metrics.counter "hc.verify_sweeps" !sweeps;
+    Obs.Metrics.counter "hc.verify_sweep_hits" !sweep_hits;
     let result = Assignment_state.snapshot st in
     let final_cost = Bsp_cost.total machine result in
     ( result,
@@ -239,7 +258,7 @@ let improve ?(check = false) ?(budget = Budget.unlimited) ?max_moves machine sch
 (* The seed implementation: exhaustive sweeps with apply/rollback
    candidate evaluation. Kept as the differential-testing and
    benchmarking baseline for the delta/worklist engine above. *)
-let improve_reference ?(check = false) ?(budget = Budget.unlimited) ?max_moves machine
+let improve_reference ?(check = false) ?(budget = Budget.unlimited ()) ?max_moves machine
     sched =
   let try_move_rollback st v p2 s2 =
     let p1 = Assignment_state.proc st v and s1 = Assignment_state.step st v in

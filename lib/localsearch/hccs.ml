@@ -63,7 +63,7 @@ let required_pairs machine (sched : Schedule.t) =
       :: acc)
     first_need []
 
-let improve ?(budget = Budget.unlimited) machine (sched : Schedule.t) =
+let improve ?(budget = Budget.unlimited ()) machine (sched : Schedule.t) =
   let dag = sched.Schedule.dag in
   let num_steps = Schedule.num_supersteps sched in
   let pairs = Array.of_list (required_pairs machine sched) in
@@ -122,7 +122,10 @@ let improve ?(budget = Budget.unlimited) machine (sched : Schedule.t) =
       (fun pair ->
         if not (Budget.exhausted budget) then begin
           let s = ref pair.lo in
-          while !s <= pair.hi do
+          (* The exhaustion re-probe keeps every evaluation paired with a
+             successful tick, so the stage's budget consumption equals
+             its [moves_evaluated]. *)
+          while !s <= pair.hi && not (Budget.exhausted budget) do
             if !s <> pair.cur then begin
               ignore (Budget.tick budget : bool);
               incr moves_evaluated;
@@ -140,6 +143,10 @@ let improve ?(budget = Budget.unlimited) machine (sched : Schedule.t) =
         end)
       pairs
   done;
+  Obs.Metrics.counter "hccs.runs" 1;
+  Obs.Metrics.counter "hccs.moves_evaluated" !moves_evaluated;
+  Obs.Metrics.counter "hccs.moves_applied" !moves_applied;
+  Obs.Metrics.gauge_max "hccs.pairs_peak" (float_of_int (Array.length pairs));
   let result = to_schedule () in
   let final_cost = Bsp_cost.total machine result in
   ( result,

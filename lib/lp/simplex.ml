@@ -222,38 +222,45 @@ let minimize ?max_pivots ~num_vars ~obj ~rows ~lb ~ub () =
       (* zval tracks -(objective of the shifted problem). *)
       Optimal { obj = -.tab.zval +. shift_const; x }
   in
-  if not has_artificial then phase2 ()
-  else begin
-    for i = 0 to m - 1 do
-      if artificial.(tab.basis.(i)) then begin
-        for j = 0 to total_cols - 1 do
-          tab.zrow.(j) <- tab.zrow.(j) -. tab.t.(i).(j)
-        done;
-        tab.zval <- tab.zval -. tab.t.(i).(total_cols)
-      end
-    done;
-    (* Artificial columns themselves cost 1. *)
-    Array.iteri (fun j is_a -> if is_a then tab.zrow.(j) <- tab.zrow.(j) +. 1.0) artificial;
-    match run_phase tab ~allowed:(fun _ -> true) ~max_pivots pivots with
-    | `Unbounded -> Infeasible (* phase-1 objective is bounded below by 0 *)
-    | `Limit -> Iteration_limit
-    | `Opt | `Run ->
-      if -.tab.zval > feas_eps then Infeasible
-      else begin
-        (* Drive remaining artificials out of the basis where possible;
-           a row with only artificial support is redundant and harmless
-           (its artificial stays basic at value ~0 and phase 2 never
-           selects artificial columns). *)
-        for i = 0 to m - 1 do
-          if artificial.(tab.basis.(i)) then begin
-            let col = ref (-1) in
-            for j = 0 to total_cols - 1 do
-              if !col < 0 && (not artificial.(j)) && Float.abs tab.t.(i).(j) > feas_eps
-              then col := j
-            done;
-            if !col >= 0 then pivot tab ~row:i ~col:!col
-          end
-        done;
-        phase2 ()
-      end
-  end
+  let result =
+    if not has_artificial then phase2 ()
+    else begin
+      for i = 0 to m - 1 do
+        if artificial.(tab.basis.(i)) then begin
+          for j = 0 to total_cols - 1 do
+            tab.zrow.(j) <- tab.zrow.(j) -. tab.t.(i).(j)
+          done;
+          tab.zval <- tab.zval -. tab.t.(i).(total_cols)
+        end
+      done;
+      (* Artificial columns themselves cost 1. *)
+      Array.iteri
+        (fun j is_a -> if is_a then tab.zrow.(j) <- tab.zrow.(j) +. 1.0)
+        artificial;
+      match run_phase tab ~allowed:(fun _ -> true) ~max_pivots pivots with
+      | `Unbounded -> Infeasible (* phase-1 objective is bounded below by 0 *)
+      | `Limit -> Iteration_limit
+      | `Opt | `Run ->
+        if -.tab.zval > feas_eps then Infeasible
+        else begin
+          (* Drive remaining artificials out of the basis where possible;
+             a row with only artificial support is redundant and harmless
+             (its artificial stays basic at value ~0 and phase 2 never
+             selects artificial columns). *)
+          for i = 0 to m - 1 do
+            if artificial.(tab.basis.(i)) then begin
+              let col = ref (-1) in
+              for j = 0 to total_cols - 1 do
+                if !col < 0 && (not artificial.(j)) && Float.abs tab.t.(i).(j) > feas_eps
+                then col := j
+              done;
+              if !col >= 0 then pivot tab ~row:i ~col:!col
+            end
+          done;
+          phase2 ()
+        end
+    end
+  in
+  Obs.Metrics.counter "lp.solves" 1;
+  Obs.Metrics.counter "lp.pivots" !pivots;
+  result

@@ -22,7 +22,9 @@ let refine_level ?budget ~refine_moves session machine ~proc_of ~step_of =
   let proc = Array.init nq (fun i -> proc_of.(rep_of_id.(i))) in
   let step = Array.init nq (fun i -> step_of.(rep_of_id.(i))) in
   let sched = Schedule.of_assignment qdag ~proc ~step in
-  let improved, _stats = Hc.improve ?budget ~max_moves:refine_moves machine sched in
+  let improved, stats = Hc.improve ?budget ~max_moves:refine_moves machine sched in
+  Obs.Metrics.counter "multilevel.refine_passes" 1;
+  Obs.Metrics.counter "multilevel.refine_moves_applied" stats.Hc.moves_applied;
   Array.iteri
     (fun i r ->
       proc_of.(r) <- improved.Schedule.proc.(i);
@@ -36,6 +38,9 @@ let run_ratio ?budget ?(strategy = Coarsen.Paper_rule) ~refine_interval ~refine_
   let session = Coarsen.start dag in
   Coarsen.coarsen_to ~strategy session ~target;
   let qdag, rep_of_id = Coarsen.quotient session in
+  Obs.Metrics.counter "multilevel.runs" 1;
+  Obs.Metrics.counter "multilevel.contractions" (List.length (Coarsen.history session));
+  Obs.Metrics.gauge "multilevel.coarse_nodes" (float_of_int (Dag.n qdag));
   let coarse = solver machine qdag in
   (* Per-representative assignment, indexed by original node ids. *)
   let proc_of = Array.make n 0 in

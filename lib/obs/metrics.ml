@@ -1,0 +1,218 @@
+let src = Logs.Src.create "bsp.obs" ~doc:"Scheduler observability layer"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type span = {
+  path : string;
+  mutable calls : int;
+  mutable seconds : float;
+  mutable steps : int;
+}
+
+type span_stats = { path : string; calls : int; seconds : float; steps_used : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  series : (string, (string * float) list ref) Hashtbl.t;  (* points reversed *)
+  span_table : (string, span) Hashtbl.t;
+  mutable stack : string list;  (* enclosing span names, innermost first *)
+  mutable on_span_close : (path:string -> seconds:float -> steps:int -> unit) option;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    series = Hashtbl.create 8;
+    span_table = Hashtbl.create 16;
+    stack = [];
+    on_span_close = None;
+  }
+
+let on_span_close t f = t.on_span_close <- Some f
+
+(* ------------------------------------------------------------------ *)
+(* Recording against an explicit registry.                             *)
+
+let add t name by =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let set t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let set_max t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let point t name ~label v =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r := (label, v) :: !r
+  | None -> Hashtbl.add t.series name (ref [ (label, v) ])
+
+let span_record t path =
+  match Hashtbl.find_opt t.span_table path with
+  | Some s -> s
+  | None ->
+    let s = { path; calls = 0; seconds = 0.0; steps = 0 } in
+    Hashtbl.add t.span_table path s;
+    s
+
+let span ?budget t name f =
+  let path = String.concat "/" (List.rev (name :: t.stack)) in
+  t.stack <- name :: t.stack;
+  let t0 = Unix.gettimeofday () in
+  let steps0 = match budget with None -> 0 | Some b -> Budget.used_steps b in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      let dsteps =
+        match budget with None -> 0 | Some b -> Budget.used_steps b - steps0
+      in
+      (match t.stack with _ :: rest -> t.stack <- rest | [] -> ());
+      let s = span_record t path in
+      s.calls <- s.calls + 1;
+      s.seconds <- s.seconds +. dt;
+      s.steps <- s.steps + dsteps;
+      match t.on_span_close with
+      | Some g -> g ~path ~seconds:dt ~steps:dsteps
+      | None -> ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* The ambient registry. Instrumented modules record through these
+   no-op-when-absent entry points, so uninstrumented runs (the default,
+   including every benchmark loop) pay one pointer load per stage and
+   nothing per inner-loop iteration.                                   *)
+
+let ambient : t option ref = ref None
+
+let install r = ambient := Some r
+let clear () = ambient := None
+let current () = !ambient
+
+let with_registry r f =
+  let prev = !ambient in
+  ambient := Some r;
+  Fun.protect ~finally:(fun () -> ambient := prev) f
+
+let counter name by = match !ambient with None -> () | Some t -> add t name by
+let gauge name v = match !ambient with None -> () | Some t -> set t name v
+let gauge_max name v = match !ambient with None -> () | Some t -> set_max t name v
+
+let series_point name ~label v =
+  match !ambient with None -> () | Some t -> point t name ~label v
+
+let with_span ?budget name f =
+  match !ambient with None -> f () | Some t -> span ?budget t name f
+
+(* ------------------------------------------------------------------ *)
+(* Reading and reporting.                                              *)
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+
+let series_values t name =
+  match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
+
+let span_list t =
+  List.map
+    (fun k ->
+      let s = Hashtbl.find t.span_table k in
+      { path = s.path; calls = s.calls; seconds = s.seconds; steps_used = s.steps })
+    (sorted_keys t.span_table)
+
+let to_json t =
+  let counters =
+    List.map
+      (fun k -> (k, Json.Int !(Hashtbl.find t.counters k)))
+      (sorted_keys t.counters)
+  in
+  let gauges =
+    List.map
+      (fun k -> (k, Json.Float !(Hashtbl.find t.gauges k)))
+      (sorted_keys t.gauges)
+  in
+  let series =
+    List.map
+      (fun k ->
+        ( k,
+          Json.List
+            (List.map
+               (fun (label, v) ->
+                 Json.Obj [ ("label", Json.String label); ("value", Json.Float v) ])
+               (List.rev !(Hashtbl.find t.series k))) ))
+      (sorted_keys t.series)
+  in
+  let spans =
+    List.map
+      (fun (s : span_stats) ->
+        Json.Obj
+          [
+            ("path", Json.String s.path);
+            ("calls", Json.Int s.calls);
+            ("seconds", Json.Float s.seconds);
+            ("steps_used", Json.Int s.steps_used);
+          ])
+      (span_list t)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("series", Json.Obj series);
+      ("spans", Json.List spans);
+    ]
+
+let write_json_file t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+let pp ppf t =
+  let open Format in
+  List.iter
+    (fun k -> fprintf ppf "counter %-40s %d@." k (counter_value t k))
+    (sorted_keys t.counters);
+  List.iter
+    (fun k -> fprintf ppf "gauge   %-40s %g@." k !(Hashtbl.find t.gauges k))
+    (sorted_keys t.gauges);
+  List.iter
+    (fun k ->
+      fprintf ppf "series  %-40s %s@." k
+        (String.concat ", "
+           (List.map (fun (l, v) -> Printf.sprintf "%s=%g" l v) (series_values t k))))
+    (sorted_keys t.series);
+  List.iter
+    (fun (s : span_stats) ->
+      fprintf ppf "span    %-40s calls=%d %.4fs steps=%d@." s.path s.calls s.seconds
+        s.steps_used)
+    (span_list t)
+
+let log_summary t =
+  List.iter
+    (fun k -> Log.app (fun m -> m "counter %-40s %d" k (counter_value t k)))
+    (sorted_keys t.counters);
+  List.iter
+    (fun k -> Log.app (fun m -> m "gauge   %-40s %g" k !(Hashtbl.find t.gauges k)))
+    (sorted_keys t.gauges);
+  List.iter
+    (fun (s : span_stats) ->
+      Log.app (fun m ->
+          m "span    %-40s calls=%d %.4fs steps=%d" s.path s.calls s.seconds
+            s.steps_used))
+    (span_list t)

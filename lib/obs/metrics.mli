@@ -1,0 +1,93 @@
+(** Zero-dependency metrics substrate (DESIGN.md Section 5c).
+
+    A registry holds four metric families:
+
+    - {b counters} — monotone integers ("hc.moves_evaluated");
+    - {b gauges} — last-writer-wins floats ("multilevel.coarse_nodes"),
+      with a max-keeping variant for peaks ("hc.worklist_peak");
+    - {b series} — ordered (label, value) points, used for the
+      pipeline's best-so-far cost trajectory;
+    - {b spans} — wall-clock timers keyed by a slash-joined path that
+      reflects dynamic nesting ("pipeline/hc:bspg"). A span opened with
+      its stage's {!Budget.t} also records the steps that budget
+      consumed inside the span, so per-stage step accounting and timing
+      come from a single source of truth.
+
+    Instrumented modules record through the ambient entry points
+    ({!counter}, {!gauge}, {!with_span}, ...), which are no-ops unless a
+    registry is {!install}ed — default runs pay one pointer load per
+    stage and nothing per inner-loop iteration. *)
+
+type t
+
+type span_stats = { path : string; calls : int; seconds : float; steps_used : int }
+
+val create : unit -> t
+
+(** {1 Recording against an explicit registry} *)
+
+val add : t -> string -> int -> unit
+(** [add t name by] increments counter [name]. *)
+
+val set : t -> string -> float -> unit
+(** Set gauge [name]. *)
+
+val set_max : t -> string -> float -> unit
+(** Set gauge [name] to the maximum of its current value and [v]. *)
+
+val point : t -> string -> label:string -> float -> unit
+(** Append a labelled point to series [name]. *)
+
+val span : ?budget:Budget.t -> t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f], accumulating wall-clock time (and, when
+    [budget] is given, the budget steps consumed by [f]) under the path
+    formed by the enclosing spans and [name]. Exceptions propagate; the
+    span still closes. *)
+
+val on_span_close : t -> (path:string -> seconds:float -> steps:int -> unit) -> unit
+(** Invoke a callback every time a span closes — the [--trace] CLI flag
+    uses this for live per-stage summary lines. *)
+
+(** {1 The ambient registry} *)
+
+val install : t -> unit
+val clear : unit -> unit
+val current : unit -> t option
+
+val with_registry : t -> (unit -> 'a) -> 'a
+(** Install [t] for the duration of the callback, restoring the previous
+    ambient registry afterwards (exception-safe). *)
+
+val counter : string -> int -> unit
+val gauge : string -> float -> unit
+val gauge_max : string -> float -> unit
+val series_point : string -> label:string -> float -> unit
+
+val with_span : ?budget:Budget.t -> string -> (unit -> 'a) -> 'a
+(** Like {!span} on the ambient registry; just runs the callback when no
+    registry is installed. *)
+
+(** {1 Reading and reporting} *)
+
+val counter_value : t -> string -> int
+(** 0 for unknown counters. *)
+
+val gauge_value : t -> string -> float option
+val series_values : t -> string -> (string * float) list
+
+val span_list : t -> span_stats list
+(** Sorted by path. *)
+
+val to_json : t -> Json.t
+(** Snapshot — see DESIGN.md Section 5c for the shape. *)
+
+val write_json_file : t -> string -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Plain-text rendering of the snapshot. *)
+
+val log_summary : t -> unit
+(** Emit the snapshot as [Logs] app-level lines on the ["bsp.obs"]
+    source (the caller is responsible for installing a Logs reporter). *)
+
+val src : Logs.src

@@ -8,7 +8,10 @@ and t = { kind : kind; mutable used : int; mutable dead : bool }
 
 let make kind = { kind; used = 0; dead = false }
 
-let unlimited = make Unlimited
+(* A fresh value per call: a shared unlimited budget would accumulate
+   [used] across every consumer that defaults to it, corrupting the
+   per-stage accounting the observability layer reports. *)
+let unlimited () = make Unlimited
 
 let steps n = make (Steps { remaining = n })
 
@@ -33,31 +36,46 @@ let rec exhausted t =
     if d then t.dead <- true;
     d
 
-let rec tick t =
+(* Units the step components still admit; [max_int] when only time or
+   nothing limits the budget. Callers only consume after a fresh
+   [exhausted] probe, so a step component always has [remaining > 0]
+   here. *)
+let rec capacity t =
+  if t.dead then 0
+  else
+    match t.kind with
+    | Unlimited | Deadline _ -> max_int
+    | Steps { remaining } -> max 0 remaining
+    | Pair (a, b) -> min (capacity a) (capacity b)
+
+(* Consume [c] units through every component, counting them at every
+   level so [used_steps] of both a pair and its children reflect what
+   actually flowed through. *)
+let rec consume t c =
+  t.used <- t.used + c;
+  match t.kind with
+  | Unlimited | Deadline _ -> ()
+  | Steps s -> s.remaining <- s.remaining - c
+  | Pair (a, b) ->
+    consume a c;
+    consume b c
+
+let tick t =
   if exhausted t then false
   else begin
-    (match t.kind with
-     | Unlimited | Deadline _ -> ()
-     | Steps s -> s.remaining <- s.remaining - 1
-     | Pair (a, b) ->
-       ignore (tick a : bool);
-       ignore (tick b : bool));
-    t.used <- t.used + 1;
+    consume t 1;
     true
   end
 
-let rec ticks t k =
+let ticks t k =
   if k <= 0 then not (exhausted t)
   else if exhausted t then false
   else begin
-    (match t.kind with
-     | Unlimited | Deadline _ -> ()
-     | Steps s -> s.remaining <- s.remaining - k
-     | Pair (a, b) ->
-       ignore (ticks a k : bool);
-       ignore (ticks b k : bool));
-    t.used <- t.used + k;
-    true
+    let c = min k (capacity t) in
+    consume t c;
+    (* Clamped: the budget could not cover the whole batch, so the
+       caller must not keep going. *)
+    c = k
   end
 
 let used_steps t = t.used

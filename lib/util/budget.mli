@@ -9,8 +9,10 @@
 
 type t
 
-val unlimited : t
-(** Never exhausted. *)
+val unlimited : unit -> t
+(** A fresh never-exhausted budget. Each call returns an independent
+    value, so {!used_steps} counts only this consumer's ticks — a shared
+    unlimited budget would silently sum unrelated stages. *)
 
 val steps : int -> t
 (** [steps n] is exhausted after [n] calls to {!tick} succeed. *)
@@ -27,14 +29,18 @@ val tick : t -> bool
     work, [false] once exhausted. Once exhausted, stays exhausted. *)
 
 val ticks : t -> int -> bool
-(** [ticks t k] consumes [k] units at once — one exhaustion probe
+(** [ticks t k] consumes up to [k] units at once — one exhaustion probe
     instead of [k], for consumers whose per-unit work is far cheaper
     than a tick (the delta-evaluating hill climber decides whole blocks
-    of candidates in O(1)). A step budget may overshoot by at most the
-    final batch; exhaustion is still detected on the next probe. *)
+    of candidates in O(1)). Consumption is clamped to what the step
+    components still admit, so a {!steps} budget never goes negative and
+    {!used_steps} never over-reports; a clamped call returns [false]
+    because the budget could not cover the whole batch. *)
 
 val exhausted : t -> bool
 (** Non-consuming check. *)
 
 val used_steps : t -> int
-(** Number of successful ticks so far (summed over components). *)
+(** Units successfully consumed through this budget value. For a
+    {!combine} pair this counts units forwarded through the pair itself;
+    the components also see those units in their own counters. *)

@@ -1,6 +1,12 @@
 let geometric_mean = function
   | [] -> nan
   | xs ->
+    List.iter
+      (fun x ->
+        if not (x > 0.0) then
+          invalid_arg
+            (Printf.sprintf "Statistics.geometric_mean: non-positive value %g" x))
+      xs;
     let n = List.length xs in
     let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
     exp (log_sum /. float_of_int n)

@@ -3,7 +3,9 @@
 val geometric_mean : float list -> float
 (** Geometric mean of a list of positive ratios; the paper aggregates
     per-instance cost ratios this way (Section 7). Returns [nan] on the
-    empty list. *)
+    empty list and raises [Invalid_argument] on any zero, negative, or
+    nan entry — a silent [0.]/[nan] would corrupt every aggregate table
+    it feeds into. *)
 
 val mean : float list -> float
 (** Arithmetic mean; [nan] on the empty list. *)

@@ -131,6 +131,30 @@ let test_hyperdag_parse_errors () =
      Alcotest.fail "out-of-range pin accepted"
    with Failure _ -> ())
 
+let test_hyperdag_tabs_and_crlf () =
+  (* Real HyperDAG_DB files mix tabs and CRLF line endings. *)
+  let g = Test_util.diamond () in
+  let mangled =
+    Hyperdag_io.to_string g
+    |> String.split_on_char '\n'
+    |> List.map (String.map (fun c -> if c = ' ' then '\t' else c))
+    |> String.concat "\r\n"
+  in
+  let g2 = Hyperdag_io.of_string mangled in
+  check "n" (Dag.n g) (Dag.n g2);
+  Alcotest.(check (list (pair int int))) "edges" (Dag.edges g) (Dag.edges g2);
+  check "work preserved" (Dag.work g 2) (Dag.work g2 2)
+
+let test_hyperdag_excess_weight_lines_rejected () =
+  let g = Test_util.diamond () in
+  let text = Hyperdag_io.to_string g ^ "0 9 9\n1 9 9\n" in
+  try
+    ignore (Hyperdag_io.of_string text : Dag.t);
+    Alcotest.fail "excess weight lines accepted"
+  with Failure msg ->
+    check_bool "names the surplus" true
+      (msg = "Hyperdag_io: 2 lines after the 4 declared weight lines")
+
 let test_is_acyclic_edges () =
   check_bool "acyclic" true (Dag.is_acyclic_edges ~n:3 [ (0, 1); (1, 2) ]);
   check_bool "cyclic" false (Dag.is_acyclic_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ])
@@ -184,6 +208,33 @@ let prop_roundtrip =
            (fun v -> Dag.work g v = Dag.work g2 v && Dag.comm g v = Dag.comm g2 v)
            (Array.init (Dag.n g) Fun.id))
 
+(* Property: parsing is whitespace- and comment-insensitive — a
+   serialisation mangled with tabs, CRLF endings and injected comment
+   lines parses to the same DAG as the clean text. *)
+let prop_roundtrip_mangled =
+  Test_util.qtest ~count:60 "hyperdag roundtrip (tabs, CRLF, comments)"
+    QCheck2.Gen.(pair (Test_util.arb_dag ()) (int_bound 10_000))
+    (fun (g, seed) ->
+      let rng = Rng.create seed in
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun line ->
+          if Rng.bernoulli rng 0.3 then Buffer.add_string buf "%\tnoise comment\r\n";
+          let line =
+            if Rng.bernoulli rng 0.5 then
+              String.map (fun c -> if c = ' ' then '\t' else c) line
+            else line
+          in
+          Buffer.add_string buf line;
+          Buffer.add_string buf (if Rng.bernoulli rng 0.5 then "\r\n" else "\n"))
+        (String.split_on_char '\n' (Hyperdag_io.to_string g));
+      let g2 = Hyperdag_io.of_string (Buffer.contents buf) in
+      Dag.n g = Dag.n g2
+      && Dag.edges g = Dag.edges g2
+      && Array.for_all
+           (fun v -> Dag.work g v = Dag.work g2 v && Dag.comm g v = Dag.comm g2 v)
+           (Array.init (Dag.n g) Fun.id))
+
 let () =
   Alcotest.run "dag"
     [
@@ -204,7 +255,11 @@ let () =
           Alcotest.test_case "builder" `Quick test_builder;
           Alcotest.test_case "hyperdag roundtrip" `Quick test_hyperdag_roundtrip;
           Alcotest.test_case "hyperdag parse errors" `Quick test_hyperdag_parse_errors;
+          Alcotest.test_case "hyperdag tabs + CRLF" `Quick test_hyperdag_tabs_and_crlf;
+          Alcotest.test_case "hyperdag excess weight lines" `Quick
+            test_hyperdag_excess_weight_lines_rejected;
           Alcotest.test_case "is_acyclic_edges" `Quick test_is_acyclic_edges;
         ] );
-      ("property", [ prop_topo_valid; prop_has_path; prop_roundtrip ]);
+      ( "property",
+        [ prop_topo_valid; prop_has_path; prop_roundtrip; prop_roundtrip_mangled ] );
     ]

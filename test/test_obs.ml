@@ -1,0 +1,281 @@
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Obs.Json: emitter / parser.                                         *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("null", Obs.Json.Null);
+        ("flag", Obs.Json.Bool true);
+        ("n", Obs.Json.Int (-42));
+        ("x", Obs.Json.Float 1.5);
+        ("s", Obs.Json.String "a\"b\\c\n\t end");
+        ( "list",
+          Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Obj []; Obs.Json.List [] ] );
+      ]
+  in
+  let v2 = Obs.Json.of_string (Obs.Json.to_string v) in
+  check_bool "roundtrip equal" true (v = v2)
+
+let test_json_escaping () =
+  let s = Obs.Json.to_string (Obs.Json.String "quote\" back\\ nl\n ctrl\x01") in
+  check_str "escaped" {|"quote\" back\\ nl\n ctrl\u0001"|} s;
+  (match Obs.Json.of_string s with
+   | Obs.Json.String s2 -> check_str "parses back" "quote\" back\\ nl\n ctrl\x01" s2
+   | _ -> Alcotest.fail "expected string")
+
+let test_json_nonfinite_floats () =
+  check_str "nan is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  check_str "inf is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  let rejects s =
+    try
+      ignore (Obs.Json.of_string s : Obs.Json.t);
+      Alcotest.fail ("accepted: " ^ s)
+    with Obs.Json.Parse_error _ -> ()
+  in
+  rejects "";
+  rejects "{";
+  rejects "[1,]";
+  rejects "1 2";
+  rejects "{\"a\":}";
+  rejects "tru"
+
+(* ------------------------------------------------------------------ *)
+(* Obs.Metrics: primitives.                                            *)
+
+let test_metrics_counters_gauges () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.add r "c" 2;
+  Obs.Metrics.add r "c" 3;
+  check "counter sums" 5 (Obs.Metrics.counter_value r "c");
+  check "unknown counter" 0 (Obs.Metrics.counter_value r "zzz");
+  Obs.Metrics.set r "g" 1.0;
+  Obs.Metrics.set r "g" 0.5;
+  Alcotest.(check (option (float 0.0))) "gauge last write" (Some 0.5)
+    (Obs.Metrics.gauge_value r "g");
+  Obs.Metrics.set_max r "peak" 2.0;
+  Obs.Metrics.set_max r "peak" 1.0;
+  Alcotest.(check (option (float 0.0))) "gauge max keeps peak" (Some 2.0)
+    (Obs.Metrics.gauge_value r "peak");
+  Obs.Metrics.point r "s" ~label:"a" 1.0;
+  Obs.Metrics.point r "s" ~label:"b" 2.0;
+  check_bool "series ordered" true
+    (Obs.Metrics.series_values r "s" = [ ("a", 1.0); ("b", 2.0) ])
+
+let test_metrics_ambient_noop_without_registry () =
+  Obs.Metrics.clear ();
+  (* Must not raise, and spans must still run their body. *)
+  Obs.Metrics.counter "c" 1;
+  Obs.Metrics.gauge "g" 1.0;
+  check "span runs body" 7 (Obs.Metrics.with_span "x" (fun () -> 7))
+
+let test_metrics_span_paths_nest () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.with_registry r (fun () ->
+      Obs.Metrics.with_span "pipeline" (fun () ->
+          Obs.Metrics.with_span "hc:bspg" (fun () -> ());
+          Obs.Metrics.with_span "hc:bspg" (fun () -> ());
+          Obs.Metrics.with_span "hccs:bspg" (fun () -> ())));
+  let spans = Obs.Metrics.span_list r in
+  let paths = List.map (fun (s : Obs.Metrics.span_stats) -> s.path) spans in
+  check_bool "nested paths" true
+    (paths = [ "pipeline"; "pipeline/hc:bspg"; "pipeline/hccs:bspg" ]);
+  let calls p =
+    (List.find (fun (s : Obs.Metrics.span_stats) -> s.path = p) spans).Obs.Metrics.calls
+  in
+  check "repeated span accumulates calls" 2 (calls "pipeline/hc:bspg");
+  check "outer called once" 1 (calls "pipeline")
+
+let test_metrics_span_records_budget_steps () =
+  let r = Obs.Metrics.create () in
+  let b = Budget.steps 100 in
+  Obs.Metrics.with_registry r (fun () ->
+      Obs.Metrics.with_span ~budget:b "stage" (fun () ->
+          check_bool "ticks" true (Budget.ticks b 42)));
+  match Obs.Metrics.span_list r with
+  | [ s ] ->
+    check_str "path" "stage" s.Obs.Metrics.path;
+    check "steps from budget" 42 s.Obs.Metrics.steps_used
+  | spans -> Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length spans))
+
+let test_metrics_span_closes_on_exception () =
+  let r = Obs.Metrics.create () in
+  (try
+     Obs.Metrics.with_registry r (fun () ->
+         Obs.Metrics.with_span "outer" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  check_bool "span closed" true
+    (List.exists (fun (s : Obs.Metrics.span_stats) -> s.path = "outer")
+       (Obs.Metrics.span_list r));
+  (* The name stack unwound: new spans are top-level again. *)
+  Obs.Metrics.with_registry r (fun () -> Obs.Metrics.with_span "next" (fun () -> ()));
+  check_bool "stack unwound" true
+    (List.exists (fun (s : Obs.Metrics.span_stats) -> s.path = "next")
+       (Obs.Metrics.span_list r))
+
+let test_metrics_with_registry_restores () =
+  Obs.Metrics.clear ();
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.with_registry r (fun () ->
+      check_bool "installed" true (Obs.Metrics.current () = Some r));
+  check_bool "restored to none" true (Obs.Metrics.current () = None)
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline under a registry: step accounting, JSON validity, and
+   the differential check that instrumentation does not change results. *)
+
+(* No wall-clock component, so runs are deterministic. The HC/HCcs caps
+   are ample (never clamped — bulk [Budget.ticks] under-counts when
+   clamped); the branch-and-bound caps may be hit without harming
+   exactness, because every explored node performs exactly one tick. *)
+let accounting_limits =
+  {
+    Pipeline.default_limits with
+    Pipeline.hc_evals = 5_000_000;
+    hccs_evals = 5_000_000;
+    ilp_full_nodes = 1_500;
+    ilp_part_nodes = 120;
+    ilp_cs_nodes = 200;
+    use_ilp = true;
+    use_ilp_init = false;
+    stage_seconds = None;
+  }
+
+let accounting_instance () =
+  let rng = Rng.create 7 in
+  (Machine.uniform ~p:3 ~g:2 ~l:4, Finegrained.exp (Sparse_matrix.random rng ~n:5 ~q:0.3) ~k:2)
+
+let test_pipeline_steps_accounting () =
+  let machine, dag = accounting_instance () in
+  let r = Obs.Metrics.create () in
+  let _sched, _stage =
+    Obs.Metrics.with_registry r (fun () ->
+        Pipeline.run ~limits:accounting_limits machine dag)
+  in
+  (* Every budget tick in the pipeline is one HC evaluation, one HCcs
+     evaluation, or one branch-and-bound node, and each stage budget is
+     fresh, so the per-span [steps_used] must sum to exactly those three
+     counters. *)
+  let span_total =
+    List.fold_left
+      (fun acc (s : Obs.Metrics.span_stats) -> acc + s.Obs.Metrics.steps_used)
+      0 (Obs.Metrics.span_list r)
+  in
+  let counter_total =
+    Obs.Metrics.counter_value r "hc.moves_evaluated"
+    + Obs.Metrics.counter_value r "hccs.moves_evaluated"
+    + Obs.Metrics.counter_value r "bb.nodes_explored"
+  in
+  check_bool "pipeline did work" true (span_total > 0);
+  check "span steps match engine counters" counter_total span_total
+
+let test_pipeline_metrics_json_valid () =
+  let machine, dag = accounting_instance () in
+  let r = Obs.Metrics.create () in
+  let _ =
+    Obs.Metrics.with_registry r (fun () ->
+        Pipeline.run ~limits:accounting_limits machine dag)
+  in
+  let json = Obs.Json.of_string (Obs.Json.to_string (Obs.Metrics.to_json r)) in
+  (* The snapshot reparses and carries the documented sections, and the
+     JSON numbers agree with the registry. *)
+  let section name =
+    match Obs.Json.member name json with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing section " ^ name)
+  in
+  (match Obs.Json.member "hc.moves_evaluated" (section "counters") with
+   | Some v ->
+     Alcotest.(check (option int)) "counter in json"
+       (Some (Obs.Metrics.counter_value r "hc.moves_evaluated"))
+       (Obs.Json.to_int_opt v)
+   | None -> Alcotest.fail "hc.moves_evaluated not in counters");
+  (match section "spans" with
+   | Obs.Json.List spans ->
+     check "all spans serialised" (List.length (Obs.Metrics.span_list r))
+       (List.length spans);
+     List.iter
+       (fun s ->
+         check_bool "span has steps_used" true
+           (Option.is_some (Obs.Json.member "steps_used" s)))
+       spans
+   | _ -> Alcotest.fail "spans not a list");
+  match section "series" with
+  | Obs.Json.Obj fields -> check_bool "best-cost trajectory recorded" true
+      (List.mem_assoc "pipeline.best_cost" fields)
+  | _ -> Alcotest.fail "series not an object"
+
+let test_pipeline_instrumentation_differential () =
+  (* With [stage_seconds = None] the pipeline is deterministic, so a run
+     with a registry installed must produce exactly the same schedule
+     cost as one without. *)
+  let machine, dag = accounting_instance () in
+  let bare, bare_stage = Pipeline.run ~limits:accounting_limits machine dag in
+  let r = Obs.Metrics.create () in
+  let instrumented, instr_stage =
+    Obs.Metrics.with_registry r (fun () ->
+        Pipeline.run ~limits:accounting_limits machine dag)
+  in
+  check "same final cost" (Bsp_cost.total machine bare)
+    (Bsp_cost.total machine instrumented);
+  check "same init cost" bare_stage.Pipeline.init_cost instr_stage.Pipeline.init_cost;
+  check "same after_local_search" bare_stage.Pipeline.after_local_search
+    instr_stage.Pipeline.after_local_search;
+  check_str "same winning initialiser" bare_stage.Pipeline.best_init_name
+    instr_stage.Pipeline.best_init_name
+
+let test_write_json_file () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.add r "a" 1;
+  let path = Filename.temp_file "obs_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Metrics.write_json_file r path;
+      let ic = open_in path in
+      let text =
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+      in
+      match Obs.Json.member "counters" (Obs.Json.of_string text) with
+      | Some (Obs.Json.Obj [ ("a", Obs.Json.Int 1) ]) -> ()
+      | _ -> Alcotest.fail "file snapshot malformed")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_floats;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters + gauges" `Quick test_metrics_counters_gauges;
+          Alcotest.test_case "ambient no-op" `Quick
+            test_metrics_ambient_noop_without_registry;
+          Alcotest.test_case "span paths nest" `Quick test_metrics_span_paths_nest;
+          Alcotest.test_case "span budget steps" `Quick
+            test_metrics_span_records_budget_steps;
+          Alcotest.test_case "span closes on exception" `Quick
+            test_metrics_span_closes_on_exception;
+          Alcotest.test_case "with_registry restores" `Quick
+            test_metrics_with_registry_restores;
+          Alcotest.test_case "write_json_file" `Quick test_write_json_file;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "steps accounting exact" `Quick
+            test_pipeline_steps_accounting;
+          Alcotest.test_case "metrics json valid" `Quick test_pipeline_metrics_json_valid;
+          Alcotest.test_case "instrumentation differential" `Quick
+            test_pipeline_instrumentation_differential;
+        ] );
+    ]

@@ -54,14 +54,55 @@ let test_budget_steps () =
 
 let test_budget_unlimited () =
   for _ = 1 to 100 do
-    check_bool "never exhausted" true (Budget.tick Budget.unlimited)
+    check_bool "never exhausted" true (Budget.tick (Budget.unlimited ()))
   done
+
+let test_budget_unlimited_independent () =
+  (* Each [unlimited ()] is a fresh value: consumption by one consumer
+     must not leak into another's [used_steps]. *)
+  let a = Budget.unlimited () and b = Budget.unlimited () in
+  check_bool "a ticks" true (Budget.ticks a 500);
+  check "a used" 500 (Budget.used_steps a);
+  check "b untouched" 0 (Budget.used_steps b);
+  check_bool "b ticks" true (Budget.tick b);
+  check "b used" 1 (Budget.used_steps b);
+  check "a unchanged" 500 (Budget.used_steps a)
 
 let test_budget_combine () =
   let b = Budget.combine (Budget.steps 2) (Budget.steps 10) in
   check_bool "1" true (Budget.tick b);
   check_bool "2" true (Budget.tick b);
   check_bool "first limits" false (Budget.tick b)
+
+let test_budget_combine_used_steps () =
+  let inner = Budget.steps 100 and clock = Budget.seconds 60.0 in
+  let b = Budget.combine inner clock in
+  check_bool "batch" true (Budget.ticks b 7);
+  check_bool "one" true (Budget.tick b);
+  (* The pair and both components all saw the same 8 units. *)
+  check "pair used" 8 (Budget.used_steps b);
+  check "steps component used" 8 (Budget.used_steps inner);
+  check "deadline component used" 8 (Budget.used_steps clock)
+
+let test_budget_ticks_clamped () =
+  (* A batch larger than the remaining steps consumes only the remainder
+     and reports failure: the budget can never go negative and claim
+     success. *)
+  let b = Budget.steps 3 in
+  check_bool "overdraw refused" false (Budget.ticks b 10);
+  check "clamped at capacity" 3 (Budget.used_steps b);
+  check_bool "exhausted" true (Budget.exhausted b);
+  check_bool "further ticks refused" false (Budget.tick b);
+  check "no further use" 3 (Budget.used_steps b);
+  (* Exact-capacity batches succeed. *)
+  let c = Budget.steps 5 in
+  check_bool "exact batch ok" true (Budget.ticks c 5);
+  check "exact used" 5 (Budget.used_steps c);
+  check_bool "then exhausted" true (Budget.exhausted c);
+  (* Zero-sized batches succeed without consuming while unexhausted. *)
+  let d = Budget.steps 1 in
+  check_bool "empty batch ok" true (Budget.ticks d 0);
+  check "empty batch free" 0 (Budget.used_steps d)
 
 let test_budget_deadline () =
   let b = Budget.seconds 0.02 in
@@ -113,6 +154,17 @@ let test_statistics () =
   check_bool "geo empty nan" true (Float.is_nan (Statistics.geometric_mean []));
   Alcotest.(check (float 1e-9)) "mean" 5.0 (Statistics.mean [ 4.0; 6.0 ]);
   Alcotest.(check (float 1e-9)) "reduction" 25.0 (Statistics.percent_reduction 0.75)
+
+let test_statistics_geomean_rejects_nonpositive () =
+  let expect_invalid label xs =
+    try
+      ignore (Statistics.geometric_mean xs : float);
+      Alcotest.fail (label ^ " accepted")
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "zero" [ 1.0; 0.0; 2.0 ];
+  expect_invalid "negative" [ 3.0; -1.0 ];
+  expect_invalid "nan" [ 1.0; Float.nan ]
 
 (* Schedule_io *)
 
@@ -188,7 +240,11 @@ let () =
         [
           Alcotest.test_case "steps" `Quick test_budget_steps;
           Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+          Alcotest.test_case "unlimited independent" `Quick
+            test_budget_unlimited_independent;
           Alcotest.test_case "combine" `Quick test_budget_combine;
+          Alcotest.test_case "combine used_steps" `Quick test_budget_combine_used_steps;
+          Alcotest.test_case "ticks clamped" `Quick test_budget_ticks_clamped;
           Alcotest.test_case "deadline" `Quick test_budget_deadline;
         ] );
       ( "deque",
@@ -196,7 +252,12 @@ let () =
           Alcotest.test_case "lifo/fifo" `Quick test_deque_lifo_fifo;
           Alcotest.test_case "growth + wraparound" `Quick test_deque_growth_wraparound;
         ] );
-      ("statistics", [ Alcotest.test_case "aggregates" `Quick test_statistics ]);
+      ( "statistics",
+        [
+          Alcotest.test_case "aggregates" `Quick test_statistics;
+          Alcotest.test_case "geomean rejects non-positive" `Quick
+            test_statistics_geomean_rejects_nonpositive;
+        ] );
       ( "schedule_io",
         [
           Alcotest.test_case "roundtrip" `Quick test_schedule_io_roundtrip;
