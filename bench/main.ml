@@ -18,14 +18,18 @@ let seed = ref 1
 let only : string list ref = ref []
 let timing = ref false
 let list_sections = ref false
+let compare_baseline : string option ref = ref None
+let cost_tol = ref 0.05
+let perf_tol = ref 0.6
 
 let usage () =
   prerr_endline
     "usage: main.exe [--scale smoke|default|full] [--seed N] [--only id,id,...] \
-     [--timing] [--list]";
+     [--timing] [--list] [--compare BASELINE.json] [--cost-tol FRAC] [--perf-tol FRAC]";
   exit 2
 
 let parse_args () =
+  let float_arg s r = match float_of_string_opt s with Some v -> r := v | None -> usage () in
   let rec go = function
     | [] -> ()
     | "--scale" :: s :: rest ->
@@ -44,6 +48,15 @@ let parse_args () =
       go rest
     | "--list" :: rest ->
       list_sections := true;
+      go rest
+    | "--compare" :: path :: rest ->
+      compare_baseline := Some path;
+      go rest
+    | "--cost-tol" :: s :: rest ->
+      float_arg s cost_tol;
+      go rest
+    | "--perf-tol" :: s :: rest ->
+      float_arg s perf_tol;
       go rest
     | _ -> usage ()
   in
@@ -940,6 +953,88 @@ let run_timing () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Regression guard: --compare BASELINE.json diffs the fresh localsearch
+   numbers against a committed BENCH_localsearch.json snapshot.
+
+   Final costs are deterministic for a fixed scale and seed (modulo the
+   per-stage wall-clock caps, hence a small tolerance); absolute
+   evals/sec rates vary with the host, so the perf tolerance is generous
+   and the machine-relative speedup ratio (delta engine vs the reference
+   engine timed in the same process) is the sturdier signal.            *)
+
+let read_json path =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  try Obs.Json.of_string contents
+  with Obs.Json.Parse_error msg ->
+    Printf.eprintf "bench --compare: %s does not parse as JSON: %s\n" path msg;
+    exit 2
+
+let json_path json path =
+  List.fold_left
+    (fun acc key -> match acc with Some v -> Obs.Json.member key v | None -> None)
+    (Some json) path
+
+(* (path into the snapshot, lower-is-better?) *)
+let guarded_metrics =
+  [
+    ([ "reference"; "final_cost" ], `Cost);
+    ([ "delta_worklist"; "final_cost" ], `Cost);
+    ([ "pipeline_final_cost" ], `Cost);
+    ([ "reference"; "evals_per_sec" ], `Perf);
+    ([ "delta_worklist"; "evals_per_sec" ], `Perf);
+    ([ "speedup_evals_per_sec" ], `Perf);
+  ]
+
+let compare_snapshots ~baseline_path ~baseline ~fresh =
+  let str p j =
+    match json_path j p with Some (Obs.Json.String s) -> Some s | _ -> None
+  in
+  let num p j = Option.bind (json_path j p) Obs.Json.to_float_opt in
+  (match (str [ "scale" ] baseline, str [ "scale" ] fresh) with
+   | Some a, Some b when a <> b ->
+     Printf.eprintf
+       "bench --compare: scale mismatch (baseline %s is %s, this run is %s) — costs are \
+        not comparable\n"
+       baseline_path a b;
+     exit 2
+   | _ -> ());
+  (match (num [ "seed" ] baseline, num [ "seed" ] fresh) with
+   | Some a, Some b when a <> b ->
+     Printf.eprintf "bench --compare: seed mismatch (baseline %.0f, this run %.0f)\n" a b;
+     exit 2
+   | _ -> ());
+  header (Printf.sprintf "Regression guard: fresh run vs %s" baseline_path);
+  Printf.printf "%-32s %14s %14s %8s  %s\n" "metric" "baseline" "fresh" "ratio"
+    "verdict";
+  let regressions = ref 0 in
+  List.iter
+    (fun (path, kind) ->
+      let name = String.concat "." path in
+      match (num path baseline, num path fresh) with
+      | Some b, Some f ->
+        let ratio = if b = 0.0 then 1.0 else f /. b in
+        let regressed =
+          match kind with
+          | `Cost -> f > b *. (1.0 +. !cost_tol)
+          | `Perf -> f < b *. (1.0 -. !perf_tol)
+        in
+        if regressed then incr regressions;
+        Printf.printf "%-32s %14.1f %14.1f %8.3f  %s\n" name b f ratio
+          (if regressed then "REGRESSED" else "ok")
+      | _ -> Printf.printf "%-32s (missing in baseline or fresh snapshot — skipped)\n" name)
+    guarded_metrics;
+  if !regressions > 0 then begin
+    Printf.eprintf
+      "bench --compare: %d metric(s) regressed beyond tolerance (cost %.0f%%, perf \
+       %.0f%%)\n"
+      !regressions (100.0 *. !cost_tol) (100.0 *. !perf_tol);
+    exit 1
+  end
+  else
+    Printf.printf "no regressions (cost tolerance %.0f%%, perf tolerance %.0f%%)\n"
+      (100.0 *. !cost_tol) (100.0 *. !perf_tol)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -973,12 +1068,28 @@ let () =
   end;
   Printf.printf "BSP+NUMA scheduling benchmark harness (scale=%s, seed=%d)\n"
     (Datasets.scale_name !scale) !seed;
+  (* Read the baseline before anything runs: the fresh localsearch run
+     overwrites BENCH_localsearch.json, which is the usual baseline. *)
+  let baseline =
+    Option.map (fun path -> (path, read_json path)) !compare_baseline
+  in
   let t0 = Unix.gettimeofday () in
   let selected =
     match !only with
     | [] -> sections
     | ids -> List.filter (fun (id, _) -> List.mem id ids) sections
   in
+  (* The guard needs fresh localsearch numbers even if --only skipped the
+     section. *)
+  let selected =
+    if baseline <> None && not (List.mem_assoc "localsearch" selected) then
+      selected @ [ ("localsearch", localsearch) ]
+    else selected
+  in
   List.iter (fun (_, f) -> f ()) selected;
   if !timing then run_timing ();
-  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  match baseline with
+  | None -> ()
+  | Some (baseline_path, baseline) ->
+    compare_snapshots ~baseline_path ~baseline ~fresh:(read_json "BENCH_localsearch.json")

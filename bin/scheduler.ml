@@ -21,7 +21,7 @@ let algorithms =
   ]
 
 let run input p g l delta machine_file algorithm seconds output seed quiet show metrics
-    trace =
+    trace profile chrome_trace =
   let registry =
     if metrics <> None || trace then begin
       let r = Obs.Metrics.create () in
@@ -82,6 +82,19 @@ let run input p g l delta machine_file algorithm seconds output seed quiet show 
   end
   else Printf.printf "%d\n" b.Bsp_cost.total;
   if show then print_string (Schedule_render.to_string machine schedule);
+  if profile then begin
+    let prof = Profile.compute machine schedule in
+    (match Profile.reconcile prof b with
+     | Ok () -> ()
+     | Error msg -> failwith ("internal error: profile does not reconcile: " ^ msg));
+    Format.printf "%a%!" Profile.pp prof
+  end;
+  (match chrome_trace with
+   | None -> ()
+   | Some path ->
+     Trace_export.write_file path machine schedule;
+     if not quiet then
+       Printf.printf "chrome trace written to %s (open in ui.perfetto.dev)\n" path);
   (match output with
    | None -> ()
    | Some path ->
@@ -170,11 +183,30 @@ let trace =
           "Log a summary line as each pipeline stage finishes (wall-clock seconds and \
            budget steps consumed), plus a final metrics summary.")
 
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a cost-attribution report for the produced schedule: per-processor \
+           utilisation, bottleneck processors and imbalance per superstep, the NUMA \
+           traffic matrix, and the lower-bound gap.")
+
+let chrome_trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the schedule as a Chrome trace_event timeline to $(docv): one track per \
+           processor with compute and communication slices per superstep. Open in \
+           ui.perfetto.dev or chrome://tracing.")
+
 let cmd =
   let doc = "schedule a computational DAG in the BSP+NUMA model" in
   Cmd.v
     (Cmd.info "scheduler" ~doc)
     Term.(const run $ input $ p $ g $ l $ delta $ machine_file $ algorithm_name $ seconds
-          $ output $ seed $ quiet $ show $ metrics $ trace)
+          $ output $ seed $ quiet $ show $ metrics $ trace $ profile $ chrome_trace)
 
 let () = exit (Cmd.eval cmd)

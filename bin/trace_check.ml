@@ -1,0 +1,68 @@
+(* Validate a Chrome trace_event file produced by Trace_export: the file
+   must parse with Obs.Json, carry a non-empty "traceEvents" list in
+   which every event has a "ph" string, and name one processor track
+   ("p0", "p1", ...) per expected processor. CI runs this against the
+   scheduler's --chrome-trace output.
+
+   Usage: trace_check FILE [--procs N] *)
+
+let usage () =
+  prerr_endline "usage: trace_check FILE [--procs N]";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("trace_check: " ^ s); exit 1) fmt
+
+let () =
+  let file = ref None and procs = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--procs" :: n :: rest ->
+      (match int_of_string_opt n with Some k -> procs := Some k | None -> usage ());
+      parse rest
+    | arg :: rest when !file = None ->
+      file := Some arg;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let file = match !file with Some f -> f | None -> usage () in
+  let contents = In_channel.with_open_bin file In_channel.input_all in
+  let json =
+    try Obs.Json.of_string contents
+    with Obs.Json.Parse_error msg -> fail "%s does not parse as JSON: %s" file msg
+  in
+  let events =
+    match Obs.Json.member "traceEvents" json with
+    | Some (Obs.Json.List evs) -> evs
+    | _ -> fail "%s has no traceEvents list" file
+  in
+  if events = [] then fail "%s has an empty traceEvents list" file;
+  (* Every event must be an object with a one-character phase string;
+     collect the processor tracks named by thread_name metadata. *)
+  let tracks = Hashtbl.create 16 in
+  List.iteri
+    (fun i ev ->
+      (match Obs.Json.member "ph" ev with
+       | Some (Obs.Json.String ph) when String.length ph = 1 -> ()
+       | _ -> fail "event %d has no valid \"ph\" phase field" i);
+      match (Obs.Json.member "name" ev, Obs.Json.member "args" ev) with
+      | Some (Obs.Json.String "thread_name"), Some args ->
+        (match Obs.Json.member "name" args with
+         | Some (Obs.Json.String name) ->
+           let is_proc_track =
+             String.length name >= 2
+             && name.[0] = 'p'
+             && String.for_all (function '0' .. '9' -> true | _ -> false)
+                  (String.sub name 1 (String.length name - 1))
+           in
+           if is_proc_track then Hashtbl.replace tracks name ()
+         | _ -> fail "thread_name metadata event %d carries no args.name" i)
+      | _ -> ())
+    events;
+  let found = Hashtbl.length tracks in
+  (match !procs with
+   | Some expected when found <> expected ->
+     fail "%s names %d processor tracks, expected %d" file found expected
+   | _ -> ());
+  Printf.printf "trace_check: %s OK (%d events, %d processor tracks)\n"
+    file (List.length events) found

@@ -205,6 +205,34 @@ let run_stages ~limits ~with_trivial_init machine dag =
   Obs.Metrics.series_point "pipeline.best_cost" ~label:"final"
     (float_of_int !best_cost);
   Obs.Metrics.gauge "pipeline.final_cost" (float_of_int !best_cost);
+  (* Cost attribution of the winning schedule, surfaced as profile.*
+     gauges in --metrics snapshots. Computing the profile is O(schedule),
+     so skip it entirely when nobody is listening. *)
+  (match Obs.Metrics.current () with
+   | None -> ()
+   | Some _ ->
+     let prof = Profile.compute machine !best in
+     Obs.Metrics.gauge "profile.num_supersteps"
+       (float_of_int prof.Profile.num_supersteps);
+     Obs.Metrics.gauge "profile.work_total" (float_of_int prof.Profile.work_total);
+     Obs.Metrics.gauge "profile.comm_total" (float_of_int prof.Profile.comm_total);
+     Obs.Metrics.gauge "profile.latency_total"
+       (float_of_int prof.Profile.latency_total);
+     Obs.Metrics.gauge "profile.lower_bound" (float_of_int prof.Profile.lower_bound);
+     Obs.Metrics.gauge "profile.gap_ratio" (Profile.gap_ratio prof);
+     let max_imb =
+       Array.fold_left
+         (fun acc (ss : Profile.superstep) -> Float.max acc ss.Profile.work_imbalance)
+         1.0 prof.Profile.supersteps
+     in
+     Obs.Metrics.gauge "profile.max_work_imbalance" max_imb;
+     let bottleneck = ref 0 in
+     Array.iteri
+       (fun q w -> if w > prof.Profile.proc_work.(!bottleneck) then bottleneck := q)
+       prof.Profile.proc_work;
+     Obs.Metrics.gauge "profile.bottleneck_proc" (float_of_int !bottleneck);
+     Obs.Metrics.gauge "profile.bottleneck_utilisation"
+       (Profile.work_utilisation prof !bottleneck));
   ( !best,
     {
       best_init_name;

@@ -78,7 +78,11 @@ val run :
     [with_trivial_init] (default [true]) includes the trivial
     single-processor schedule among the initial candidates; the
     multilevel coarse-solving phase turns it off (see
-    {!stage_costs.best_init_name}). *)
+    {!stage_costs.best_init_name}). When an {!Obs.Metrics} registry is
+    installed, the winning schedule's {!Profile} summary is recorded as
+    [profile.*] gauges (supersteps, work/comm/latency split, lower-bound
+    gap, peak work imbalance, bottleneck processor and its
+    utilisation). *)
 
 val run_multilevel :
   ?limits:limits ->

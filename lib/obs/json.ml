@@ -24,12 +24,25 @@ let add_escaped buf s =
     s
 
 (* JSON has no literal for non-finite numbers; emit null rather than an
-   invalid token so downstream parsers never choke on a stray nan. *)
+   invalid token so downstream parsers never choke on a stray nan.
+   Finite floats are printed with the fewest digits (15, 16 or 17
+   significant) that parse back to the identical value, so emit/parse is
+   an exact round trip without always paying the 17-digit noise. *)
 let add_float buf f =
   if not (Float.is_finite f) then Buffer.add_string buf "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.1f" f)
-  else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  else begin
+    let s = Printf.sprintf "%.15g" f in
+    let s =
+      if float_of_string s = f then s
+      else begin
+        let s = Printf.sprintf "%.16g" f in
+        if float_of_string s = f then s else Printf.sprintf "%.17g" f
+      end
+    in
+    Buffer.add_string buf s
+  end
 
 let to_buffer buf v =
   let rec go indent v =
@@ -77,6 +90,44 @@ let to_buffer buf v =
 let to_string v =
   let buf = Buffer.create 1024 in
   to_buffer buf v;
+  Buffer.contents buf
+
+let to_buffer_compact buf v =
+  let rec go v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> add_float buf f
+    | String s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          go item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          add_escaped buf k;
+          Buffer.add_string buf "\":";
+          go item)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  go v
+
+let to_string_compact v =
+  let buf = Buffer.create 1024 in
+  to_buffer_compact buf v;
   Buffer.contents buf
 
 let of_string s =

@@ -6,6 +6,15 @@ let to_string ?(max_nodes_per_cell = 6) machine (t : Schedule.t) =
   Buffer.add_string buf
     (Printf.sprintf "schedule: %d nodes, %d supersteps, %d processors, cost %d\n"
        (Dag.n t.Schedule.dag) num_steps p b.Bsp_cost.total);
+  (* Per-processor utilisation summary, from the attribution profile. *)
+  let prof = Profile.compute machine t in
+  for q = 0 to p - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  p%-3d util %5.1f%%  work %-6d idle %-6d send %-6d recv %d\n" q
+         (100.0 *. Profile.work_utilisation prof q)
+         prof.Profile.proc_work.(q) prof.Profile.proc_idle.(q) prof.Profile.proc_send.(q)
+         prof.Profile.proc_recv.(q))
+  done;
   (* Nodes per (superstep, processor). *)
   let cells = Array.make_matrix num_steps p [] in
   for v = Dag.n t.Schedule.dag - 1 downto 0 do

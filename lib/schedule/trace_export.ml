@@ -1,0 +1,148 @@
+open Obs.Json
+
+(* trace_event records; the "complete" event form (ph = "X") carries its
+   own duration so no begin/end pairing is needed. *)
+let complete ~name ~cat ~tid ~ts ~dur ~args =
+  Obj
+    ([
+       ("name", String name);
+       ("cat", String cat);
+       ("ph", String "X");
+       ("pid", Int 0);
+       ("tid", Int tid);
+       ("ts", Int ts);
+       ("dur", Int dur);
+     ]
+    @ (if args = [] then [] else [ ("args", Obj args) ]))
+
+let instant ~name ~ts =
+  Obj
+    [
+      ("name", String name);
+      ("ph", String "i");
+      ("pid", Int 0);
+      ("tid", Int 0);
+      ("ts", Int ts);
+      ("s", String "g");
+    ]
+
+let counter ~name ~ts ~value =
+  Obj
+    [
+      ("name", String name);
+      ("ph", String "C");
+      ("pid", Int 0);
+      ("ts", Int ts);
+      ("args", Obj [ ("ratio", Float value) ]);
+    ]
+
+let metadata ~name ~tid ~args =
+  Obj
+    [
+      ("name", String name); ("ph", String "M"); ("pid", Int 0); ("tid", Int tid);
+      ("args", Obj args);
+    ]
+
+let to_json machine (t : Schedule.t) =
+  let prof = Profile.compute machine t in
+  let p = prof.Profile.p in
+  let g = machine.Machine.g and l = machine.Machine.l in
+  (* Node counts per (superstep, processor) for the slice tooltips. *)
+  let node_count = Array.make_matrix prof.Profile.num_supersteps p 0 in
+  Array.iteri
+    (fun v s ->
+      node_count.(s).(t.Schedule.proc.(v)) <- node_count.(s).(t.Schedule.proc.(v)) + 1)
+    t.Schedule.step;
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  emit
+    (metadata ~name:"process_name" ~tid:0
+       ~args:
+         [
+           ( "name",
+             String
+               (Printf.sprintf "BSP schedule: P=%d g=%d l=%d, cost %d" p g l
+                  prof.Profile.total) );
+         ]);
+  emit (metadata ~name:"thread_name" ~tid:p ~args:[ ("name", String "bsp phases") ]);
+  emit (metadata ~name:"thread_sort_index" ~tid:p ~args:[ ("sort_index", Int (-1)) ]);
+  for q = 0 to p - 1 do
+    emit
+      (metadata ~name:"thread_name" ~tid:q ~args:[ ("name", String (Printf.sprintf "p%d" q)) ]);
+    emit (metadata ~name:"thread_sort_index" ~tid:q ~args:[ ("sort_index", Int q) ])
+  done;
+  let start = ref 0 in
+  Array.iteri
+    (fun s (ss : Profile.superstep) ->
+      let t0 = !start in
+      let comm_start = t0 + ss.Profile.work_max in
+      emit (instant ~name:(Printf.sprintf "superstep %d" s) ~ts:t0);
+      emit (counter ~name:"work imbalance" ~ts:t0 ~value:ss.Profile.work_imbalance);
+      emit (counter ~name:"comm imbalance" ~ts:t0 ~value:ss.Profile.comm_imbalance);
+      (* The superstep-level phase structure the cost formula charges. *)
+      if ss.Profile.work_max > 0 then
+        emit
+          (complete ~name:(Printf.sprintf "s%d compute" s) ~cat:"phase" ~tid:p ~ts:t0
+             ~dur:ss.Profile.work_max
+             ~args:[ ("superstep", Int s); ("work_max", Int ss.Profile.work_max) ]);
+      if g * ss.Profile.comm_max > 0 then
+        emit
+          (complete ~name:(Printf.sprintf "s%d comm" s) ~cat:"phase" ~tid:p ~ts:comm_start
+             ~dur:(g * ss.Profile.comm_max)
+             ~args:[ ("superstep", Int s); ("h_relation", Int ss.Profile.comm_max) ]);
+      if l > 0 then
+        emit
+          (complete ~name:(Printf.sprintf "s%d latency" s) ~cat:"phase" ~tid:p
+             ~ts:(comm_start + (g * ss.Profile.comm_max))
+             ~dur:l ~args:[ ("superstep", Int s) ]);
+      for q = 0 to p - 1 do
+        let w = ss.Profile.work.(q) in
+        if w > 0 then
+          emit
+            (complete ~name:(Printf.sprintf "s%d compute" s) ~cat:"compute" ~tid:q ~ts:t0
+               ~dur:w
+               ~args:
+                 [
+                   ("superstep", Int s);
+                   ("work", Int w);
+                   ("nodes", Int node_count.(s).(q));
+                   ("idle", Int ss.Profile.idle.(q));
+                 ]);
+        let h = g * max ss.Profile.send.(q) ss.Profile.recv.(q) in
+        if h > 0 then
+          emit
+            (complete ~name:(Printf.sprintf "s%d comm" s) ~cat:"comm" ~tid:q ~ts:comm_start
+               ~dur:h
+               ~args:
+                 [
+                   ("superstep", Int s);
+                   ("send", Int ss.Profile.send.(q));
+                   ("recv", Int ss.Profile.recv.(q));
+                 ])
+      done;
+      start := t0 + ss.Profile.cost)
+    prof.Profile.supersteps;
+  emit (instant ~name:"end" ~ts:!start);
+  Obj
+    [
+      ("traceEvents", List (List.rev !events));
+      ("displayTimeUnit", String "ms");
+      ( "otherData",
+        Obj
+          [
+            ("format", String "bsp-schedule-trace");
+            ("processors", Int p);
+            ("supersteps", Int prof.Profile.num_supersteps);
+            ("cost", Int prof.Profile.total);
+          ] );
+    ]
+
+let to_string machine t = Obs.Json.to_string (to_json machine t)
+
+let write_file path machine t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string machine t);
+      output_char oc '\n')

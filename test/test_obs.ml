@@ -32,6 +32,48 @@ let test_json_nonfinite_floats () =
   check_str "nan is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
   check_str "inf is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.infinity))
 
+let test_json_compact () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("a", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float 2.5; Obs.Json.Null ]);
+        ("b", Obs.Json.Obj [ ("nested", Obs.Json.Bool false) ]);
+      ]
+  in
+  let compact = Obs.Json.to_string_compact v in
+  check_str "single line, no whitespace"
+    {|{"a":[1,2.5,null],"b":{"nested":false}}|} compact;
+  check_bool "compact and pretty parse to the same value" true
+    (Obs.Json.of_string compact = Obs.Json.of_string (Obs.Json.to_string v))
+
+(* Finite floats must survive emit/parse bit-exactly (the emitter picks
+   the shortest of 15/16/17 significant digits that round-trips);
+   non-finite ones are emitted as null by design. *)
+let prop_json_float_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:1000 ~name:"floats round-trip through emit/parse"
+       QCheck2.Gen.float (fun f ->
+         if not (Float.is_finite f) then
+           Obs.Json.to_string (Obs.Json.Float f) = "null"
+         else
+           match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float f)) with
+           | Obs.Json.Float f' -> Int64.bits_of_float f' = Int64.bits_of_float f
+           | Obs.Json.Int i ->
+             (* Huge integer-valued floats may parse back as ints. *)
+             float_of_int i = f
+           | _ -> false))
+
+let test_json_float_examples () =
+  let roundtrips f =
+    match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float f)) with
+    | Obs.Json.Float f' -> f' = f
+    | _ -> false
+  in
+  check_bool "0.1 + 0.2 round-trips" true (roundtrips (0.1 +. 0.2));
+  check_bool "pi round-trips" true (roundtrips (4.0 *. atan 1.0));
+  check_bool "min_float round-trips" true (roundtrips min_float);
+  check_bool "subnormal round-trips" true (roundtrips 1e-310)
+
 let test_json_parse_errors () =
   let rejects s =
     try
@@ -254,6 +296,9 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_floats;
+          Alcotest.test_case "compact emitter" `Quick test_json_compact;
+          Alcotest.test_case "float round-trip examples" `Quick test_json_float_examples;
+          prop_json_float_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
         ] );
       ( "metrics",

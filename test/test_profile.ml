@@ -1,0 +1,242 @@
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The figure-1 style example of test_schedule.ml: two processors, two
+   supersteps, values crossing in both directions in phase 0. *)
+let example () =
+  let dag =
+    Dag.of_edges ~n:6
+      ~edges:[ (1, 4); (2, 4); (3, 5); (0, 5) ]
+      ~work:[| 2; 3; 1; 1; 2; 4 |] ~comm:[| 1; 1; 2; 1; 1; 1 |]
+  in
+  Schedule.of_assignment dag ~proc:[| 0; 0; 1; 1; 0; 1 |] ~step:[| 0; 0; 0; 0; 1; 1 |]
+
+let reconcile_ok m s =
+  match Profile.reconcile (Profile.compute m s) (Bsp_cost.breakdown m s) with
+  | Ok () -> true
+  | Error msg -> Alcotest.failf "profile does not reconcile: %s" msg
+
+let test_example_attribution () =
+  let s = example () in
+  let m = Machine.uniform ~p:2 ~g:3 ~l:5 in
+  let prof = Profile.compute m s in
+  check "supersteps" 2 prof.Profile.num_supersteps;
+  let s0 = prof.Profile.supersteps.(0) and s1 = prof.Profile.supersteps.(1) in
+  (* Superstep 0: p0 works 5, p1 works 2 -> bottleneck p0, idle [0; 3].
+     Volumes: node 0 (c=1) 0 -> 1, node 2 (c=2) 1 -> 0. *)
+  check "s0 work bottleneck" 0 s0.Profile.work_bottleneck;
+  Alcotest.(check (array int)) "s0 idle" [| 0; 3 |] s0.Profile.idle;
+  Alcotest.(check (array int)) "s0 send" [| 1; 2 |] s0.Profile.send;
+  Alcotest.(check (array int)) "s0 recv" [| 2; 1 |] s0.Profile.recv;
+  check "s0 comm max" 2 s0.Profile.comm_max;
+  (* h is [max(1,2); max(2,1)] = [2; 2]: tie broken to the lowest id. *)
+  check "s0 comm bottleneck" 0 s0.Profile.comm_bottleneck;
+  Alcotest.(check (float 1e-9)) "s0 work imbalance (5 vs mean 3.5)"
+    (10.0 /. 7.0) s0.Profile.work_imbalance;
+  (* Superstep 1: p0 works 2, p1 works 4; no communication. *)
+  check "s1 work bottleneck" 1 s1.Profile.work_bottleneck;
+  check "s1 comm max" 0 s1.Profile.comm_max;
+  check "s1 comm bottleneck (-1: empty phase)" (-1) s1.Profile.comm_bottleneck;
+  Alcotest.(check (float 1e-9)) "s1 comm imbalance is 1 by convention" 1.0
+    s1.Profile.comm_imbalance;
+  (* Totals. *)
+  Alcotest.(check (array int)) "proc work" [| 7; 6 |] prof.Profile.proc_work;
+  Alcotest.(check (array int)) "proc idle" [| 2; 3 |] prof.Profile.proc_idle;
+  check "traffic 0->1" 1 prof.Profile.traffic.(0).(1);
+  check "traffic 1->0" 2 prof.Profile.traffic.(1).(0);
+  Alcotest.(check (float 1e-9)) "p0 utilisation" (7.0 /. 9.0)
+    (Profile.work_utilisation prof 0);
+  (* Lower bound: ceil(13/2) = 7 beats the critical path work 6; plus
+     the one-superstep latency floor. Achieved total is 25. *)
+  check "node work" 13 prof.Profile.node_work;
+  check "critical path work" 6 prof.Profile.critical_path_work;
+  check "work floor" 7 prof.Profile.work_floor;
+  check "lower bound" 12 prof.Profile.lower_bound;
+  check "total" 25 prof.Profile.total;
+  Alcotest.(check (float 1e-9)) "gap ratio" (25.0 /. 12.0) (Profile.gap_ratio prof);
+  check_bool "reconciles" true (reconcile_ok m s)
+
+let test_example_numa_traffic () =
+  let s = example () in
+  (* Asymmetric coefficients: 0 -> 1 costs 2 per unit, 1 -> 0 costs 3. *)
+  let m = Machine.explicit ~g:3 ~l:5 ~lambda:[| [| 0; 2 |]; [| 3; 0 |] |] in
+  let prof = Profile.compute m s in
+  check "traffic 0->1 weighted" 2 prof.Profile.traffic.(0).(1);
+  check "traffic 1->0 weighted" 6 prof.Profile.traffic.(1).(0);
+  Alcotest.(check (array int)) "proc send = row sums" [| 2; 6 |] prof.Profile.proc_send;
+  Alcotest.(check (array int)) "proc recv = col sums" [| 6; 2 |] prof.Profile.proc_recv;
+  check_bool "reconciles" true (reconcile_ok m s)
+
+let test_empty_dag () =
+  let dag = Dag.of_edges ~n:0 ~edges:[] ~work:[||] ~comm:[||] in
+  let m = Machine.uniform ~p:4 ~g:2 ~l:7 in
+  let prof = Profile.compute m (Schedule.trivial dag) in
+  check "no supersteps" 0 prof.Profile.num_supersteps;
+  check "zero total" 0 prof.Profile.total;
+  check "zero lower bound" 0 prof.Profile.lower_bound;
+  Alcotest.(check (float 1e-9)) "gap 1.0 by convention" 1.0 (Profile.gap_ratio prof)
+
+let test_report_renders () =
+  let s = example () in
+  let m = Machine.uniform ~p:2 ~g:3 ~l:5 in
+  let text = Format.asprintf "%a" Profile.pp (Profile.compute m s) in
+  List.iter
+    (fun needle ->
+      check_bool ("report mentions " ^ needle) true
+        (Test_util.contains_substring text needle))
+    [ "cost 25"; "lower bound 12"; "traffic matrix"; "bottleneck p0"; "util" ]
+
+(* Random schedule in the style of test_schedule's properties: processors
+   uniform, steps follow wavefront levels so the assignment is valid. *)
+let random_schedule rng dag p =
+  let level = Dag.wavefronts dag in
+  let proc = Array.init (Dag.n dag) (fun _ -> Rng.int rng p) in
+  let step = Array.map (fun l -> 2 * l) level in
+  Schedule.of_assignment dag ~proc ~step
+
+let gen_case =
+  QCheck2.Gen.(
+    pair (Test_util.arb_dag ()) (pair (Test_util.arb_machine ()) (int_bound 10_000)))
+
+let prop_reconciles =
+  Test_util.qtest "profile reconciles with breakdown" gen_case
+    (fun (dag, (m, seed)) ->
+      let s = random_schedule (Rng.create seed) dag m.Machine.p in
+      reconcile_ok m s)
+
+let prop_totals_match_tables =
+  Test_util.qtest "profile totals match raw cost tables" gen_case
+    (fun (dag, (m, seed)) ->
+      let s = random_schedule (Rng.create seed) dag m.Machine.p in
+      let prof = Profile.compute m s in
+      let num_steps = Schedule.num_supersteps s in
+      let work, send, recv = Bsp_cost.tables m s ~num_steps in
+      let col table q =
+        Array.fold_left (fun acc row -> acc + row.(q)) 0 table
+      in
+      let p = m.Machine.p in
+      let ok = ref true in
+      for q = 0 to p - 1 do
+        if prof.Profile.proc_work.(q) <> col work q then ok := false;
+        if prof.Profile.proc_send.(q) <> col send q then ok := false;
+        if prof.Profile.proc_recv.(q) <> col recv q then ok := false;
+        (* Traffic matrix row/column sums are exactly the send/receive
+           volumes. *)
+        if Array.fold_left ( + ) 0 prof.Profile.traffic.(q) <> prof.Profile.proc_send.(q)
+        then ok := false;
+        let col_sum = ref 0 in
+        for src = 0 to p - 1 do
+          col_sum := !col_sum + prof.Profile.traffic.(src).(q)
+        done;
+        if !col_sum <> prof.Profile.proc_recv.(q) then ok := false
+      done;
+      (* Every node is assigned, so per-processor work sums to the DAG's
+         total work. *)
+      if Array.fold_left ( + ) 0 prof.Profile.proc_work <> Dag.total_work dag then
+        ok := false;
+      !ok)
+
+let prop_lower_bound_holds =
+  Test_util.qtest "achieved cost is never below the lower bound" gen_case
+    (fun (dag, (m, seed)) ->
+      let s = random_schedule (Rng.create seed) dag m.Machine.p in
+      let prof = Profile.compute m s in
+      prof.Profile.total >= prof.Profile.lower_bound)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export.                                                *)
+
+let count_proc_tracks json =
+  match Obs.Json.member "traceEvents" json with
+  | Some (Obs.Json.List events) ->
+    List.length
+      (List.filter
+         (fun ev ->
+           match (Obs.Json.member "name" ev, Obs.Json.member "args" ev) with
+           | Some (Obs.Json.String "thread_name"), Some args ->
+             (match Obs.Json.member "name" args with
+              | Some (Obs.Json.String name) ->
+                String.length name >= 2
+                && name.[0] = 'p'
+                && String.for_all
+                     (function '0' .. '9' -> true | _ -> false)
+                     (String.sub name 1 (String.length name - 1))
+              | _ -> false)
+           | _ -> false)
+         events)
+  | _ -> Alcotest.fail "trace has no traceEvents list"
+
+let test_trace_shape () =
+  let s = example () in
+  let m = Machine.uniform ~p:2 ~g:3 ~l:5 in
+  (* The emitted text must parse back with our own parser... *)
+  let json = Obs.Json.of_string (Trace_export.to_string m s) in
+  check "one track per processor" 2 (count_proc_tracks json);
+  let events =
+    match Obs.Json.member "traceEvents" json with
+    | Some (Obs.Json.List evs) -> evs
+    | _ -> assert false
+  in
+  (* ...every event carries a phase, and the timeline extent equals the
+     schedule cost: the "end" boundary marker sits at ts = 25. *)
+  List.iter
+    (fun ev ->
+      match Obs.Json.member "ph" ev with
+      | Some (Obs.Json.String _) -> ()
+      | _ -> Alcotest.fail "event without ph")
+    events;
+  let end_ts =
+    List.find_map
+      (fun ev ->
+        match Obs.Json.member "name" ev with
+        | Some (Obs.Json.String "end") ->
+          Option.bind (Obs.Json.member "ts" ev) Obs.Json.to_int_opt
+        | _ -> None)
+      events
+  in
+  check "end marker at total cost" 25 (Option.get end_ts);
+  (* Slice durations on processor tracks: compute slices sum to the
+     per-processor work totals. *)
+  let compute_dur tid =
+    List.fold_left
+      (fun acc ev ->
+        match
+          ( Obs.Json.member "cat" ev,
+            Obs.Json.member "tid" ev,
+            Obs.Json.member "dur" ev )
+        with
+        | Some (Obs.Json.String "compute"), Some (Obs.Json.Int t), Some (Obs.Json.Int d)
+          when t = tid ->
+          acc + d
+        | _ -> acc)
+      0 events
+  in
+  check "p0 compute slices sum to its work" 7 (compute_dur 0);
+  check "p1 compute slices sum to its work" 6 (compute_dur 1)
+
+let prop_trace_parses =
+  Test_util.qtest ~count:50 "trace export emits valid JSON with P tracks" gen_case
+    (fun (dag, (m, seed)) ->
+      let s = random_schedule (Rng.create seed) dag m.Machine.p in
+      let json = Obs.Json.of_string (Trace_export.to_string m s) in
+      count_proc_tracks json = m.Machine.p)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "example attribution" `Quick test_example_attribution;
+          Alcotest.test_case "NUMA traffic weights" `Quick test_example_numa_traffic;
+          Alcotest.test_case "empty DAG" `Quick test_empty_dag;
+          Alcotest.test_case "pp report" `Quick test_report_renders;
+          Alcotest.test_case "chrome trace shape" `Quick test_trace_shape;
+        ] );
+      ( "property",
+        [
+          prop_reconciles;
+          prop_totals_match_tables;
+          prop_lower_bound_holds;
+          prop_trace_parses;
+        ] );
+    ]

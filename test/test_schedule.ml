@@ -149,6 +149,33 @@ let test_classical_conversion () =
   check "single superstep" 1 (Schedule.num_supersteps s2);
   check "makespan" 3 (Classical.makespan dag cl2)
 
+let test_render_summary () =
+  let s = example () in
+  let m = Machine.uniform ~p:2 ~g:3 ~l:5 in
+  let text = Schedule_render.to_string m s in
+  let has needle =
+    check_bool ("render contains " ^ needle) true
+      (Test_util.contains_substring text needle)
+  in
+  has "schedule: 6 nodes, 2 supersteps, 2 processors, cost 25";
+  (* The utilisation summary: p0 works 7 of the 9 compute-phase units
+     (77.8%), sits idle 2, sends volume 1 and receives 2. *)
+  has "p0   util  77.8%  work 7      idle 2      send 1      recv 2";
+  has "p1   util  66.7%  work 6      idle 3      send 2      recv 1";
+  (* The per-superstep body is still there. *)
+  has "superstep 0  (work 5, h-relation 2, cost 16)";
+  has "0:0->1";
+  has "2:1->0"
+
+let test_render_no_comm () =
+  let dag = Test_util.chain 2 in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:1 in
+  let text = Schedule_render.to_string m (Schedule.trivial dag) in
+  check_bool "idle processor listed at 0% util" true
+    (Test_util.contains_substring text "p1   util   0.0%  work 0");
+  check_bool "busy processor at 100%" true
+    (Test_util.contains_substring text "p0   util 100.0%  work 2")
+
 (* Property: for a random valid assignment, the lazy communication
    schedule always yields a valid BSP schedule, and the incremental
    tables of Bsp_cost agree with the breakdown. *)
@@ -194,6 +221,8 @@ let () =
           Alcotest.test_case "relay chain" `Quick test_validity_relay_chain;
           Alcotest.test_case "compact" `Quick test_compact;
           Alcotest.test_case "classical conversion" `Quick test_classical_conversion;
+          Alcotest.test_case "render utilisation summary" `Quick test_render_summary;
+          Alcotest.test_case "render without comm" `Quick test_render_no_comm;
         ] );
       ("property", [ prop_lazy_valid; prop_compact_never_worse ]);
     ]
