@@ -21,11 +21,13 @@ let list_sections = ref false
 let compare_baseline : string option ref = ref None
 let cost_tol = ref 0.05
 let perf_tol = ref 0.6
+let jobs = ref (Par.default_jobs ())
 
 let usage () =
   prerr_endline
     "usage: main.exe [--scale smoke|default|full] [--seed N] [--only id,id,...] \
-     [--timing] [--list] [--compare BASELINE.json] [--cost-tol FRAC] [--perf-tol FRAC]";
+     [--timing] [--list] [--compare BASELINE.json] [--cost-tol FRAC] [--perf-tol FRAC] \
+     [--jobs N]";
   exit 2
 
 let parse_args () =
@@ -57,6 +59,11 @@ let parse_args () =
       go rest
     | "--perf-tol" :: s :: rest ->
       float_arg s perf_tol;
+      go rest
+    | "--jobs" :: s :: rest ->
+      (match int_of_string_opt s with
+       | Some n when n >= 1 -> jobs := n
+       | _ -> usage ());
       go rest
     | _ -> usage ()
   in
@@ -171,8 +178,12 @@ let runs key =
     Printf.eprintf "[sweep] %-7s P=%-2d g=%d l=%-2d delta=%d (%d instances)...%!" key.ds
       key.p key.g key.l key.delta
       (List.length d.Datasets.instances);
+    (* One task per instance. Results come back in instance order, so
+       every aggregation below is independent of the jobs count; the
+       lazy DAG caches are forced before the DAGs cross domains. *)
+    List.iter (fun inst -> Dag.warm_caches inst.Datasets.dag) d.Datasets.instances;
     let result =
-      List.map
+      Par.map
         (fun inst ->
           let limits = limits_for ~p:key.p ~n:(Dag.n inst.Datasets.dag) base in
           let options =
@@ -334,7 +345,9 @@ let table3 () =
 let init_wins () =
   let d = dataset "training" in
   let base = bench_limits () in
-  List.concat_map
+  List.iter (fun inst -> Dag.warm_caches inst.Datasets.dag) d.Datasets.instances;
+  List.concat
+  @@ Par.map
     (fun inst ->
       let dag = inst.Datasets.dag in
       List.concat_map
@@ -852,12 +865,70 @@ let localsearch () =
   Printf.printf "pipeline (init+HC+HCcs) wall time: %.2fs, cost %d -> %d\n" t_pipe
     stage.Pipeline.init_cost stage.Pipeline.final_cost;
   Obs.Metrics.write_json_file reg "BENCH_localsearch.metrics.json";
+  (* Parallel portfolio benchmark: the multilevel coarsening-ratio
+     sweep, timed at jobs=1 and at 4 domains in the same process. The
+     limits carry no wall-clock cap and no ILP, so both runs are fully
+     deterministic and the equal-cost assertion below is exact — this is
+     the bench-tier witness of the Par determinism contract. The
+     4-domain measurement is taken regardless of --jobs so snapshots
+     always record the same experiment (speedup saturates at the host's
+     core count; the committed baseline's value reflects its host). *)
+  let par_jobs = 4 in
+  let ml_ratios = [ 0.45; 0.3; 0.2; 0.15 ] in
+  let ml_target =
+    match !scale with
+    | Datasets.Smoke -> 2_000
+    | Datasets.Default -> 6_000
+    | Datasets.Full -> 12_000
+  in
+  let ml_evals =
+    match !scale with
+    | Datasets.Smoke -> 20_000
+    | Datasets.Default -> 80_000
+    | Datasets.Full -> 250_000
+  in
+  let ml_dag =
+    Finegrained.generate_sized rng ~family:Finegrained.Exp ~shape:Finegrained.Wide
+      ~target:ml_target
+  in
+  let ml_machine = Machine.numa_tree ~p:8 ~g:1 ~l:5 ~delta:4 in
+  let ml_limits =
+    {
+      Pipeline.fast_limits with
+      Pipeline.hc_evals = ml_evals;
+      hccs_evals = ml_evals / 4;
+      stage_seconds = None;
+    }
+  in
+  let ml_config =
+    { Multilevel.default_config with Multilevel.ratios = ml_ratios }
+  in
+  let sweep () = Pipeline.run_multilevel ~limits:ml_limits ~config:ml_config ml_machine ml_dag in
+  Printf.eprintf "[par] multilevel ratio sweep n=%d, %d ratios: jobs=1 vs jobs=%d...%!"
+    (Dag.n ml_dag) (List.length ml_ratios) par_jobs;
+  let sweep_j1, t_sweep_j1 = time (fun () -> Par.with_jobs 1 sweep) in
+  let sweep_jn, t_sweep_jn = time (fun () -> Par.with_jobs par_jobs sweep) in
+  Printf.eprintf " %.2fs vs %.2fs\n%!" t_sweep_j1 t_sweep_jn;
+  let sweep_cost_j1 = Bsp_cost.total ml_machine sweep_j1 in
+  let sweep_cost_jn = Bsp_cost.total ml_machine sweep_jn in
+  if sweep_cost_j1 <> sweep_cost_jn then
+    failwith
+      (Printf.sprintf
+         "parallel determinism violated: ratio sweep cost %d at jobs=1 but %d at jobs=%d"
+         sweep_cost_j1 sweep_cost_jn par_jobs);
+  let sweep_speedup = t_sweep_j1 /. t_sweep_jn in
+  Printf.printf
+    "multilevel ratio sweep (n=%d, %d ratios): %.2fs at jobs=1, %.2fs at jobs=%d \
+     (speedup %.2fx, costs identical: %d)\n"
+    (Dag.n ml_dag) (List.length ml_ratios) t_sweep_j1 t_sweep_jn par_jobs sweep_speedup
+    sweep_cost_j1;
   let oc = open_out "BENCH_localsearch.json" in
   Printf.fprintf oc
     {|{
   "benchmark": "localsearch",
   "scale": "%s",
   "seed": %d,
+  "jobs": %d,
   "instance": { "family": "exp", "shape": "wide", "nodes": %d },
   "machine": { "p": 8, "g": 3, "l": 5 },
   "eval_budget": %d,
@@ -878,13 +949,24 @@ let localsearch () =
   },
   "speedup_evals_per_sec": %.2f,
   "pipeline_seconds": %.4f,
-  "pipeline_final_cost": %d
+  "pipeline_final_cost": %d,
+  "parallel": {
+    "jobs": %d,
+    "ml_sweep_nodes": %d,
+    "ml_sweep_ratios": %d,
+    "ml_sweep_seconds_jobs1": %.4f,
+    "ml_sweep_seconds_jobs4": %.4f,
+    "ml_sweep_speedup": %.2f,
+    "ml_sweep_final_cost": %d,
+    "costs_equal": true
+  }
 }
 |}
-    (Datasets.scale_name !scale) !seed n evals reps st_ref.Hc.moves_evaluated
+    (Datasets.scale_name !scale) !seed !jobs n evals reps st_ref.Hc.moves_evaluated
     st_ref.Hc.moves_applied t_ref rate_ref st_ref.Hc.final_cost st_wl.Hc.moves_evaluated
     st_wl.Hc.moves_applied t_wl rate_wl st_wl.Hc.final_cost speedup t_pipe
-    stage.Pipeline.final_cost;
+    stage.Pipeline.final_cost par_jobs (Dag.n ml_dag) (List.length ml_ratios) t_sweep_j1
+    t_sweep_jn sweep_speedup sweep_cost_j1;
   close_out oc;
   Printf.printf "wrote BENCH_localsearch.json and BENCH_localsearch.metrics.json\n"
 
@@ -980,9 +1062,11 @@ let guarded_metrics =
     ([ "reference"; "final_cost" ], `Cost);
     ([ "delta_worklist"; "final_cost" ], `Cost);
     ([ "pipeline_final_cost" ], `Cost);
+    ([ "parallel"; "ml_sweep_final_cost" ], `Cost);
     ([ "reference"; "evals_per_sec" ], `Perf);
     ([ "delta_worklist"; "evals_per_sec" ], `Perf);
     ([ "speedup_evals_per_sec" ], `Perf);
+    ([ "parallel"; "ml_sweep_speedup" ], `Perf);
   ]
 
 let compare_snapshots ~baseline_path ~baseline ~fresh =
@@ -1001,6 +1085,23 @@ let compare_snapshots ~baseline_path ~baseline ~fresh =
   (match (num [ "seed" ] baseline, num [ "seed" ] fresh) with
    | Some a, Some b when a <> b ->
      Printf.eprintf "bench --compare: seed mismatch (baseline %.0f, this run %.0f)\n" a b;
+     exit 2
+   | _ -> ());
+  (* Same rule as scale/seed: perf tolerances must never be compared
+     across different core counts. A snapshot predating the jobs field
+     is also rejected — regenerate it. *)
+  (match (num [ "jobs" ] baseline, num [ "jobs" ] fresh) with
+   | Some a, Some b when a <> b ->
+     Printf.eprintf
+       "bench --compare: jobs mismatch (baseline %s ran with --jobs %.0f, this run with \
+        --jobs %.0f) — wall-clock numbers are not comparable across core counts\n"
+       baseline_path a b;
+     exit 2
+   | None, _ ->
+     Printf.eprintf
+       "bench --compare: baseline %s has no \"jobs\" field (pre-parallel snapshot) — \
+        regenerate it with the current harness\n"
+       baseline_path;
      exit 2
    | _ -> ());
   header (Printf.sprintf "Regression guard: fresh run vs %s" baseline_path);
@@ -1062,12 +1163,13 @@ let sections =
 
 let () =
   parse_args ();
+  Par.set_jobs !jobs;
   if !list_sections then begin
     List.iter (fun (id, _) -> print_endline id) sections;
     exit 0
   end;
-  Printf.printf "BSP+NUMA scheduling benchmark harness (scale=%s, seed=%d)\n"
-    (Datasets.scale_name !scale) !seed;
+  Printf.printf "BSP+NUMA scheduling benchmark harness (scale=%s, seed=%d, jobs=%d)\n"
+    (Datasets.scale_name !scale) !seed !jobs;
   (* Read the baseline before anything runs: the fresh localsearch run
      overwrites BENCH_localsearch.json, which is the usual baseline. *)
   let baseline =

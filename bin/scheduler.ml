@@ -21,7 +21,8 @@ let algorithms =
   ]
 
 let run input p g l delta machine_file algorithm seconds output seed quiet show metrics
-    trace profile chrome_trace =
+    trace profile chrome_trace jobs =
+  Par.set_jobs jobs;
   let registry =
     if metrics <> None || trace then begin
       let r = Obs.Metrics.create () in
@@ -202,11 +203,22 @@ let chrome_trace =
            processor with compute and communication slices per superstep. Open in \
            ui.perfetto.dev or chrome://tracing.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Par.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run the pipeline's candidate chains and the multilevel ratio sweep on $(docv) \
+           domains (default from \\$BSP_JOBS, else 1). Results are bit-identical for \
+           every $(docv); only wall-clock time changes.")
+
 let cmd =
   let doc = "schedule a computational DAG in the BSP+NUMA model" in
   Cmd.v
     (Cmd.info "scheduler" ~doc)
     Term.(const run $ input $ p $ g $ l $ delta $ machine_file $ algorithm_name $ seconds
-          $ output $ seed $ quiet $ show $ metrics $ trace $ profile $ chrome_trace)
+          $ output $ seed $ quiet $ show $ metrics $ trace $ profile $ chrome_trace
+          $ jobs)
 
 let () = exit (Cmd.eval cmd)

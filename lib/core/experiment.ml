@@ -44,6 +44,10 @@ let checked name machine sched =
 
 let evaluate options machine dag =
   let p = machine.Machine.p in
+  (* Instances are evaluated in parallel by the bench harness, and the
+     multilevel sweep below fans out per ratio: make the shared DAG's
+     lazy caches read-only first. *)
+  Dag.warm_caches dag;
   let trivial = checked "trivial" machine (Schedule.trivial dag) in
   let cilk = checked "cilk" machine (Cilk.schedule dag ~p ~seed:options.seed) in
   let bl_est =
@@ -61,7 +65,7 @@ let evaluate options machine dag =
   let ours = checked "pipeline" machine ours_sched in
   let multilevel =
     if options.with_multilevel then
-      List.map
+      Par.map
         (fun ratio ->
           let ml =
             Pipeline.run_multilevel_ratio ~limits:options.limits

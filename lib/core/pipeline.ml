@@ -123,9 +123,13 @@ let run_stages ~limits ~with_trivial_init machine dag =
     else []
   in
   (* Improve every initial schedule separately with HC+HCcs (running the
-     local search is cheap — Section 6) and keep the best. *)
+     local search is cheap — Section 6) and keep the best. Each
+     candidate's init→HC→HCcs chain is one [Par] task; the fold below
+     reads them in submission order with a strict [<], so the winner is
+     identical for every jobs count. *)
+  Dag.warm_caches dag;
   let candidates =
-    List.map
+    Par.map
       (fun (name, f) ->
         let init = Obs.Metrics.with_span ("init:" ^ name) f in
         let init_cost = cost machine init in
@@ -289,19 +293,18 @@ let run_multilevel_ratio ?(limits = default_limits) ?solver_limits ~ratio machin
   in
   polish_comm limits machine sched
 
+(* One task per coarsening ratio; [Par.best_of] breaks cost ties
+   towards the earlier ratio in the configured list, matching the
+   sequential fold this replaces. *)
 let run_multilevel ?(limits = default_limits) ?solver_limits
     ?(config = Multilevel.default_config) machine dag =
-  let candidates =
-    List.map
-      (fun ratio -> run_multilevel_ratio ~limits ?solver_limits ~ratio machine dag)
-      config.Multilevel.ratios
-  in
-  match candidates with
-  | [] -> invalid_arg "Pipeline.run_multilevel: no ratios configured"
-  | first :: rest ->
-    List.fold_left
-      (fun bst cand -> if cost machine cand < cost machine bst then cand else bst)
-      first rest
+  if config.Multilevel.ratios = [] then
+    invalid_arg "Pipeline.run_multilevel: no ratios configured";
+  Dag.warm_caches dag;
+  Par.best_of
+    ~cmp:(fun a b -> compare (cost machine a) (cost machine b))
+    (fun ratio -> run_multilevel_ratio ~limits ?solver_limits ~ratio machine dag)
+    config.Multilevel.ratios
 
 type choice = Base | Multilevel_chosen
 
@@ -309,12 +312,23 @@ type choice = Base | Multilevel_chosen
    learn when coarsening is needed; this realises the simplest version
    of that idea through the extended CCR metric. *)
 let run_auto ?(limits = default_limits) ?solver_limits ?threshold machine dag =
-  let base, stage = run ~limits machine dag in
   if Ccr.communication_dominated ?threshold machine dag then begin
+    (* The CCR decision is a pure function of (machine, dag), so the
+       base pipeline and the multilevel ratio sweep are independent the
+       moment it fires — run them as one parallel portfolio: the base
+       pipeline is task 0, one task per coarsening ratio after it. *)
+    Dag.warm_caches dag;
+    let tasks =
+      (fun () -> `Base (run ~limits machine dag))
+      :: List.map
+           (fun ratio () ->
+             `Ml (run_multilevel_ratio ~limits ?solver_limits ~ratio machine dag))
+           Multilevel.default_config.Multilevel.ratios
+    in
+    let results = Par.map (fun f -> f ()) tasks in
+    let base, stage = match results with `Base r :: _ -> r | _ -> assert false in
     let candidates =
-      List.map
-        (fun ratio -> run_multilevel_ratio ~limits ?solver_limits ~ratio machine dag)
-        Multilevel.default_config.Multilevel.ratios
+      List.filter_map (function `Ml s -> Some s | `Base _ -> None) results
     in
     let best_ml =
       List.fold_left
@@ -333,6 +347,7 @@ let run_auto ?(limits = default_limits) ?solver_limits ?threshold machine dag =
       (base, Base)
   end
   else begin
+    let base, _stage = run ~limits machine dag in
     Obs.Metrics.gauge "pipeline.auto_multilevel" 0.0;
     (base, Base)
   end

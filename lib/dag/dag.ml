@@ -130,6 +130,10 @@ let topological_rank g =
     g.rank <- Some r;
     r
 
+let warm_caches g =
+  ignore (topological_order g : int array);
+  ignore (topological_rank g : int array)
+
 let build_arrays ~n ~edges =
   if n < 0 then invalid_arg "Dag: negative node count";
   List.iter

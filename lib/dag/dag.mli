@@ -76,6 +76,14 @@ val topological_order : t -> int array
 val topological_rank : t -> int array
 (** [rank.(v)] is the position of [v] in {!topological_order}. *)
 
+val warm_caches : t -> unit
+(** Force the lazy topological-order/rank caches. Call before sharing a
+    DAG across domains (a [Par] fan-out does): the caches are pure
+    functions of the structure, so a race would be benign in value, but
+    concurrent lazy initialisation is still a data race under the OCaml
+    memory model — warming them first makes subsequent parallel reads
+    read-only. *)
+
 val wavefronts : t -> int array
 (** [wavefronts g] assigns each node its earliest level: sources are
     level 0 and [level v = 1 + max (level u)] over predecessors. This is

@@ -11,9 +11,15 @@ type span = {
 
 type span_stats = { path : string; calls : int; seconds : float; steps_used : int }
 
+(* A gauge remembers how it was last written so that a deterministic
+   child-registry merge can replay the right combination rule: plain
+   [set] gauges are last-writer-wins (in submission order), [set_max]
+   gauges keep the running maximum across children. *)
+type gauge = { mutable g_value : float; mutable g_is_max : bool }
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
-  gauges : (string, float ref) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
   series : (string, (string * float) list ref) Hashtbl.t;  (* points reversed *)
   span_table : (string, span) Hashtbl.t;
   mutable stack : string list;  (* enclosing span names, innermost first *)
@@ -42,13 +48,17 @@ let add t name by =
 
 let set t name v =
   match Hashtbl.find_opt t.gauges name with
-  | Some r -> r := v
-  | None -> Hashtbl.add t.gauges name (ref v)
+  | Some g ->
+    g.g_value <- v;
+    g.g_is_max <- false
+  | None -> Hashtbl.add t.gauges name { g_value = v; g_is_max = false }
 
 let set_max t name v =
   match Hashtbl.find_opt t.gauges name with
-  | Some r -> if v > !r then r := v
-  | None -> Hashtbl.add t.gauges name (ref v)
+  | Some g ->
+    if v > g.g_value then g.g_value <- v;
+    g.g_is_max <- true
+  | None -> Hashtbl.add t.gauges name { g_value = v; g_is_max = true }
 
 let point t name ~label v =
   match Hashtbl.find_opt t.series name with
@@ -87,41 +97,97 @@ let span ?budget t name f =
 (* ------------------------------------------------------------------ *)
 (* The ambient registry. Instrumented modules record through these
    no-op-when-absent entry points, so uninstrumented runs (the default,
-   including every benchmark loop) pay one pointer load per stage and
-   nothing per inner-loop iteration.                                   *)
+   including every benchmark loop) pay one domain-local load per stage
+   and nothing per inner-loop iteration.
 
-let ambient : t option ref = ref None
+   The handle is domain-local (Domain.DLS), not a bare global: a
+   registry is a single-writer structure, and under `Par` fan-out each
+   task runs with its own child registry installed in its executing
+   domain, merged back deterministically by the submitter. A bare
+   global ref would race (and interleave span stacks) the moment two
+   domains record concurrently.                                        *)
 
-let install r = ambient := Some r
-let clear () = ambient := None
-let current () = !ambient
+let ambient_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let install r = Domain.DLS.set ambient_key (Some r)
+let clear () = Domain.DLS.set ambient_key None
+let current () = Domain.DLS.get ambient_key
 
 let with_registry r f =
-  let prev = !ambient in
-  ambient := Some r;
-  Fun.protect ~finally:(fun () -> ambient := prev) f
+  let prev = current () in
+  install r;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key prev) f
 
-let counter name by = match !ambient with None -> () | Some t -> add t name by
-let gauge name v = match !ambient with None -> () | Some t -> set t name v
-let gauge_max name v = match !ambient with None -> () | Some t -> set_max t name v
+let counter name by = match current () with None -> () | Some t -> add t name by
+let gauge name v = match current () with None -> () | Some t -> set t name v
+let gauge_max name v = match current () with None -> () | Some t -> set_max t name v
 
 let series_point name ~label v =
-  match !ambient with None -> () | Some t -> point t name ~label v
+  match current () with None -> () | Some t -> point t name ~label v
 
 let with_span ?budget name f =
-  match !ambient with None -> f () | Some t -> span ?budget t name f
+  match current () with None -> f () | Some t -> span ?budget t name f
 
 (* ------------------------------------------------------------------ *)
-(* Reading and reporting.                                              *)
+(* Parallel fan-out support: per-task child registries and their
+   deterministic merge (DESIGN.md Section 5e).                         *)
+
+(* The child inherits the parent's open-span context so that spans
+   recorded inside a parallel task keep the same slash-joined paths
+   they would have had sequentially ("pipeline/hc:bspg", not
+   "hc:bspg"). It deliberately does not inherit [on_span_close]: live
+   trace callbacks would otherwise fire concurrently from worker
+   domains; merged spans still reach the final summary. *)
+let create_child parent =
+  let t = create () in
+  t.stack <- parent.stack;
+  t
 
 let sorted_keys tbl =
   Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+(* Deterministic: iteration is over sorted keys, and callers merge
+   children in submission order, so any jobs count yields the same
+   final registry contents (modulo wall-clock seconds, which are
+   genuinely measured). Counters and span stats are additive — the
+   exact Σ-steps invariant (span steps_used vs engine evaluation
+   counters) survives the merge because both sides add up. *)
+let merge_into ~into child =
+  List.iter
+    (fun k -> add into k !(Hashtbl.find child.counters k))
+    (sorted_keys child.counters);
+  List.iter
+    (fun k ->
+      let g = Hashtbl.find child.gauges k in
+      if g.g_is_max then set_max into k g.g_value else set into k g.g_value)
+    (sorted_keys child.gauges);
+  List.iter
+    (fun k ->
+      (* Both lists are newest-first; prepending the child's keeps the
+         child's points after the parent's existing ones in reading
+         order. *)
+      let pts = !(Hashtbl.find child.series k) in
+      match Hashtbl.find_opt into.series k with
+      | Some r -> r := pts @ !r
+      | None -> Hashtbl.add into.series k (ref pts))
+    (sorted_keys child.series);
+  List.iter
+    (fun k ->
+      let cs = Hashtbl.find child.span_table k in
+      let s = span_record into k in
+      s.calls <- s.calls + cs.calls;
+      s.seconds <- s.seconds +. cs.seconds;
+      s.steps <- s.steps + cs.steps)
+    (sorted_keys child.span_table)
+
+(* ------------------------------------------------------------------ *)
+(* Reading and reporting.                                              *)
 
 let counter_value t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
 let gauge_value t name =
-  match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+  match Hashtbl.find_opt t.gauges name with Some g -> Some g.g_value | None -> None
 
 let series_values t name =
   match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
@@ -141,7 +207,7 @@ let to_json t =
   in
   let gauges =
     List.map
-      (fun k -> (k, Json.Float !(Hashtbl.find t.gauges k)))
+      (fun k -> (k, Json.Float (Hashtbl.find t.gauges k).g_value))
       (sorted_keys t.gauges)
   in
   let series =
@@ -189,7 +255,7 @@ let pp ppf t =
     (fun k -> fprintf ppf "counter %-40s %d@." k (counter_value t k))
     (sorted_keys t.counters);
   List.iter
-    (fun k -> fprintf ppf "gauge   %-40s %g@." k !(Hashtbl.find t.gauges k))
+    (fun k -> fprintf ppf "gauge   %-40s %g@." k (Hashtbl.find t.gauges k).g_value)
     (sorted_keys t.gauges);
   List.iter
     (fun k ->
@@ -208,7 +274,7 @@ let log_summary t =
     (fun k -> Log.app (fun m -> m "counter %-40s %d" k (counter_value t k)))
     (sorted_keys t.counters);
   List.iter
-    (fun k -> Log.app (fun m -> m "gauge   %-40s %g" k !(Hashtbl.find t.gauges k)))
+    (fun k -> Log.app (fun m -> m "gauge   %-40s %g" k (Hashtbl.find t.gauges k).g_value))
     (sorted_keys t.gauges);
   List.iter
     (fun (s : span_stats) ->

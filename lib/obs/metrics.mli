@@ -48,7 +48,14 @@ val on_span_close : t -> (path:string -> seconds:float -> steps:int -> unit) -> 
 (** Invoke a callback every time a span closes — the [--trace] CLI flag
     uses this for live per-stage summary lines. *)
 
-(** {1 The ambient registry} *)
+(** {1 The ambient registry}
+
+    The ambient handle is {b domain-local} ([Domain.DLS]): [install]
+    and [with_registry] affect only the calling domain, so parallel
+    tasks run by {!Par} each record into their own child registry
+    without racing. A registry itself is single-writer — never record
+    into the same registry from two domains concurrently; use
+    {!create_child} + {!merge_into} instead. *)
 
 val install : t -> unit
 val clear : unit -> unit
@@ -56,7 +63,33 @@ val current : unit -> t option
 
 val with_registry : t -> (unit -> 'a) -> 'a
 (** Install [t] for the duration of the callback, restoring the previous
-    ambient registry afterwards (exception-safe). *)
+    ambient registry of the calling domain afterwards
+    (exception-safe). *)
+
+(** {1 Parallel fan-out: child registries}
+
+    The deterministic-merge contract (DESIGN.md Section 5e): a parent
+    registry plus children merged in submission order yields the same
+    counters, gauges, series and span stats as running the same tasks
+    sequentially against the parent — modulo wall-clock seconds, which
+    are genuinely measured. In particular the exact Σ-steps invariant
+    (sum of span [steps_used] equals the engine evaluation counters)
+    survives the merge, because both sides are additive. *)
+
+val create_child : t -> t
+(** A fresh registry for one parallel task. It inherits the parent's
+    currently-open span context, so spans recorded inside the task keep
+    the slash-joined paths they would have had sequentially; it does
+    {i not} inherit the [on_span_close] callback (live trace lines
+    cover only the submitting domain). *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into child] folds a child registry into [into]:
+    counters and span calls/seconds/steps add, [set] gauges overwrite
+    (last merged child wins), [set_max] gauges keep the maximum, series
+    points append after [into]'s existing points. Iteration is over
+    sorted keys, so merging the same children in the same order is
+    bit-deterministic. *)
 
 val counter : string -> int -> unit
 val gauge : string -> float -> unit

@@ -1,0 +1,216 @@
+(* A fixed-size domain pool with deterministic reduction.
+
+   Shape: one global batch queue guarded by a mutex/condition pair.
+   Workers (spawned once, lazily) and the submitting domain claim task
+   indices from the head batch with an atomic fetch-and-add, so a batch
+   is a lock-free work pile once published; the queue lock is touched
+   once per batch per domain, not per task. The submitter always helps
+   drain its own batch, so every batch completes even with zero
+   workers, and a nested submission from inside a worker-run task
+   degrades to inline sequential execution — no domain ever blocks
+   waiting for pool capacity, hence no deadlock by construction.
+
+   Determinism: results land in a slot array indexed by submission
+   order; all reductions ([map] order, [map_reduce] fold, [best_of]
+   tie-breaking, which exception is re-raised) read that array left to
+   right. Scheduling nondeterminism therefore never reaches the
+   caller. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "BSP_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
+let jobs_setting = Atomic.make (default_jobs ())
+
+let jobs () = Atomic.get jobs_setting
+let set_jobs n = Atomic.set jobs_setting (max 1 n)
+
+let with_jobs n f =
+  let prev = jobs () in
+  set_jobs n;
+  Fun.protect ~finally:(fun () -> set_jobs prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Pool internals.                                                     *)
+
+type batch = {
+  run : int -> unit;  (* executes task [i]; must not raise *)
+  count : int;
+  next : int Atomic.t;  (* next unclaimed task index *)
+  remaining : int Atomic.t;  (* tasks not yet completed *)
+  done_m : Mutex.t;
+  done_cv : Condition.t;
+  mutable all_done : bool;
+}
+
+let pool_m = Mutex.create ()
+let pool_cv = Condition.create ()
+let queue : batch Queue.t = Queue.create ()
+let shutdown = ref false
+let worker_handles : unit Domain.t list ref = ref []
+let worker_count = ref 0
+let exit_hook_registered = ref false
+
+(* Tasks running on a pool worker must not submit sub-batches (their
+   submitter could otherwise starve the pool); they run nested fan-out
+   inline instead. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let mark_done b =
+  Mutex.lock b.done_m;
+  b.all_done <- true;
+  Condition.broadcast b.done_cv;
+  Mutex.unlock b.done_m
+
+(* Claim and execute tasks until the batch's index counter is
+   exhausted. Whoever completes the last task signals the submitter. *)
+let drain b =
+  let rec go () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.count then begin
+      b.run i;
+      if Atomic.fetch_and_add b.remaining (-1) = 1 then mark_done b;
+      go ()
+    end
+  in
+  go ()
+
+(* Once a batch has no unclaimed tasks left, unlink it so workers go
+   back to waiting instead of spinning on it. Every drainer calls this;
+   only the first still finding the batch at the head removes it. *)
+let drop_if_exhausted b =
+  Mutex.lock pool_m;
+  (match Queue.peek_opt queue with
+   | Some b' when b' == b -> ignore (Queue.pop queue : batch)
+   | _ -> ());
+  Mutex.unlock pool_m
+
+let worker () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock pool_m;
+    let rec await () =
+      if !shutdown then None
+      else
+        match Queue.peek_opt queue with
+        | Some b -> Some b
+        | None ->
+          Condition.wait pool_cv pool_m;
+          await ()
+    in
+    let b = await () in
+    Mutex.unlock pool_m;
+    match b with
+    | None -> ()
+    | Some b ->
+      drain b;
+      drop_if_exhausted b;
+      loop ()
+  in
+  loop ()
+
+(* Spawn once, grow lazily up to the largest jobs count ever requested;
+   surplus workers from a larger earlier setting just keep waiting. The
+   at_exit hook wakes and joins them so test runners and CLIs exit
+   cleanly mid-wait. *)
+let ensure_workers target =
+  if !worker_count < target then begin
+    if not !exit_hook_registered then begin
+      exit_hook_registered := true;
+      at_exit (fun () ->
+          Mutex.lock pool_m;
+          shutdown := true;
+          Condition.broadcast pool_cv;
+          Mutex.unlock pool_m;
+          List.iter Domain.join !worker_handles)
+    end;
+    Mutex.lock pool_m;
+    while !worker_count < target do
+      incr worker_count;
+      worker_handles := Domain.spawn worker :: !worker_handles
+    done;
+    Mutex.unlock pool_m
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution with per-task child registries.                     *)
+
+type 'b cell = Pending | Done of 'b | Raised of exn * Printexc.raw_backtrace
+
+let run_batch (tasks : (unit -> 'b) array) : 'b array =
+  let n = Array.length tasks in
+  let j = jobs () in
+  if j <= 1 || n <= 1 || Domain.DLS.get in_worker then
+    (* The sequential path is byte-for-byte the pre-parallel behaviour:
+       tasks run in order on this domain against the ambient registry,
+       no children, no merge. *)
+    Array.map (fun f -> f ()) tasks
+  else begin
+    let parent = Obs.Metrics.current () in
+    let children = Array.init n (fun _ -> Option.map Obs.Metrics.create_child parent) in
+    let results = Array.make n Pending in
+    let run i =
+      let exec () =
+        try Done (tasks.(i) ()) with e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      let r =
+        match children.(i) with
+        | None -> exec ()
+        | Some child -> Obs.Metrics.with_registry child exec
+      in
+      results.(i) <- r
+    in
+    let b =
+      {
+        run;
+        count = n;
+        next = Atomic.make 0;
+        remaining = Atomic.make n;
+        done_m = Mutex.create ();
+        done_cv = Condition.create ();
+        all_done = false;
+      }
+    in
+    ensure_workers (j - 1);
+    Mutex.lock pool_m;
+    Queue.push b queue;
+    Condition.broadcast pool_cv;
+    Mutex.unlock pool_m;
+    drain b;
+    drop_if_exhausted b;
+    Mutex.lock b.done_m;
+    while not b.all_done do
+      Condition.wait b.done_cv b.done_m
+    done;
+    Mutex.unlock b.done_m;
+    (* Children merge in submission order whether their task succeeded
+       or raised — partial metrics of a failed task still count, and the
+       merge order never depends on scheduling. *)
+    (match parent with
+     | None -> ()
+     | Some p ->
+       Array.iter
+         (function Some c -> Obs.Metrics.merge_into ~into:p c | None -> ())
+         children);
+    Array.iter
+      (function
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Done _ | Pending -> ())
+      results;
+    Array.map (function Done v -> v | Pending | Raised _ -> assert false) results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public combinators.                                                 *)
+
+let map f xs =
+  Array.to_list (run_batch (Array.of_list (List.map (fun x () -> f x) xs)))
+
+let map_reduce ~map:f ~reduce ~init xs = List.fold_left reduce init (map f xs)
+
+let best_of ~cmp f xs =
+  match map f xs with
+  | [] -> invalid_arg "Par.best_of: empty list"
+  | y :: ys -> List.fold_left (fun best c -> if cmp c best < 0 then c else best) y ys

@@ -1,0 +1,77 @@
+(** Fixed-size domain pool with deterministic reduction (DESIGN.md
+    Section 5e).
+
+    The paper's framework is an embarrassingly parallel portfolio:
+    independent initialiser→HC→HCcs chains, a multilevel sweep over
+    coarsening ratios, and an experiment runner over many (DAG,
+    machine) instances. This module is the single substrate all three
+    fan-out sites share.
+
+    {b Determinism contract.} Tasks may run on any domain in any
+    order, but results are always combined in {i submission order}
+    with index tie-breaking: {!map} returns results positionally,
+    {!map_reduce} folds left-to-right over the submission order, and
+    {!best_of} returns the minimum with ties broken towards the lowest
+    submission index. If every task is itself a deterministic function
+    of its input, any jobs count therefore produces bit-identical
+    values to [jobs = 1]. Exceptions follow the same rule: when
+    several tasks raise, the submitter re-raises the one with the
+    lowest index.
+
+    {b Pool.} Worker domains are spawned once, lazily, on the first
+    batch that needs them, and fed from a shared batch queue
+    (atomic-counter work claiming). The submitting domain also
+    executes tasks, so a batch always makes progress even with zero
+    workers; the pool is torn down via [at_exit]. Nested calls from
+    inside a worker-run task degrade to sequential execution (no
+    domain ever blocks waiting for pool capacity), so fan-out sites
+    can be composed freely — e.g. an experiment sweep whose tasks each
+    run the pipeline's own candidate fan-out.
+
+    {b Observability.} When the submitting domain has an ambient
+    {!Obs.Metrics} registry installed, each parallel task runs under a
+    fresh child registry (seeded with the parent's open-span context)
+    and the children are merged back in submission order —
+    see {!Obs.Metrics.merge_into} for the exact semantics. With
+    [jobs = 1] tasks record straight into the ambient registry,
+    exactly as sequential code always did.
+
+    {b Budgets.} {!Budget.t} values are not domain-safe; create each
+    stage budget {i inside} the task that consumes it (the pipeline
+    already does), which also makes wall-clock caps per-task. *)
+
+val default_jobs : unit -> int
+(** The initial jobs setting: the value of the [BSP_JOBS] environment
+    variable when it parses as a positive integer, else 1. *)
+
+val jobs : unit -> int
+(** The current jobs setting (>= 1). [1] means: run everything
+    sequentially on the calling domain, spawn nothing. *)
+
+val set_jobs : int -> unit
+(** Set the jobs count (clamped to >= 1). [set_jobs n] with [n > 1]
+    allows batches to run on up to [n] domains (the submitter plus
+    [n - 1] pool workers); workers are spawned lazily on first use and
+    reused across batches. Call this once from the main domain (the
+    CLI [--jobs] flag does). *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** Run the callback with the jobs setting temporarily replaced
+    (exception-safe restore). Used by the bench harness to time the
+    same sweep at [jobs = 1] and [jobs = N] in one process. *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] computes [List.map f xs], evaluating the elements in
+    parallel on the pool. Results are returned in submission order. *)
+
+val map_reduce : map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
+(** [map_reduce ~map ~reduce ~init xs] is
+    [List.fold_left reduce init (List.map map xs)] with the map phase
+    parallel; the reduction is applied left-to-right in submission
+    order, so non-commutative reductions are safe. *)
+
+val best_of : cmp:('b -> 'b -> int) -> ('a -> 'b) -> 'a list -> 'b
+(** [best_of ~cmp f xs] maps in parallel and returns the minimum
+    result under [cmp], ties broken towards the lowest submission
+    index — the deterministic "portfolio winner" reduction.
+    @raise Invalid_argument on the empty list. *)
