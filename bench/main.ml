@@ -22,12 +22,14 @@ let compare_baseline : string option ref = ref None
 let cost_tol = ref 0.05
 let perf_tol = ref 0.6
 let jobs = ref (Par.default_jobs ())
+let jobs_sweep : int list ref = ref []
+let speedup_floor : float option ref = ref None
 
 let usage () =
   prerr_endline
     "usage: main.exe [--scale smoke|default|full] [--seed N] [--only id,id,...] \
      [--timing] [--list] [--compare BASELINE.json] [--cost-tol FRAC] [--perf-tol FRAC] \
-     [--jobs N]";
+     [--jobs N] [--jobs-sweep N,N,...] [--speedup-floor X]";
   exit 2
 
 let parse_args () =
@@ -63,6 +65,16 @@ let parse_args () =
     | "--jobs" :: s :: rest ->
       (match int_of_string_opt s with
        | Some n when n >= 1 -> jobs := n
+       | _ -> usage ());
+      go rest
+    | "--jobs-sweep" :: s :: rest ->
+      let parsed = List.map int_of_string_opt (String.split_on_char ',' s) in
+      if List.exists (function Some n -> n < 1 | None -> true) parsed then usage ();
+      jobs_sweep := List.filter_map Fun.id parsed;
+      go rest
+    | "--speedup-floor" :: s :: rest ->
+      (match float_of_string_opt s with
+       | Some v when v > 0.0 -> speedup_floor := Some v
        | _ -> usage ());
       go rest
     | _ -> usage ()
@@ -866,14 +878,23 @@ let localsearch () =
     stage.Pipeline.init_cost stage.Pipeline.final_cost;
   Obs.Metrics.write_json_file reg "BENCH_localsearch.metrics.json";
   (* Parallel portfolio benchmark: the multilevel coarsening-ratio
-     sweep, timed at jobs=1 and at 4 domains in the same process. The
-     limits carry no wall-clock cap and no ILP, so both runs are fully
+     sweep, timed once per jobs count (default 1 and 4 domains,
+     overridable with --jobs-sweep) in the same process. The limits
+     carry no wall-clock cap and no ILP, so every run is fully
      deterministic and the equal-cost assertion below is exact — this is
      the bench-tier witness of the Par determinism contract. The
-     4-domain measurement is taken regardless of --jobs so snapshots
-     always record the same experiment (speedup saturates at the host's
-     core count; the committed baseline's value reflects its host). *)
-  let par_jobs = 4 in
+     measurement is taken regardless of --jobs so snapshots always
+     record the same experiment (speedup saturates at the host's core
+     count, which the snapshot records as "cores"; the committed
+     baseline's value reflects its host). Each timed run resets and
+     snapshots the Par per-domain accumulators, so the JSON carries the
+     GC pressure (minor words, collections) behind the speedup. *)
+  let par_sweep_jobs =
+    let requested = match !jobs_sweep with [] -> [ 1; 4 ] | l -> l in
+    let l = List.sort_uniq compare requested in
+    if List.mem 1 l then l else 1 :: l
+  in
+  let par_jobs = List.fold_left max 1 par_sweep_jobs in
   let ml_ratios = [ 0.45; 0.3; 0.2; 0.15 ] in
   let ml_target =
     match !scale with
@@ -904,24 +925,87 @@ let localsearch () =
     { Multilevel.default_config with Multilevel.ratios = ml_ratios }
   in
   let sweep () = Pipeline.run_multilevel ~limits:ml_limits ~config:ml_config ml_machine ml_dag in
-  Printf.eprintf "[par] multilevel ratio sweep n=%d, %d ratios: jobs=1 vs jobs=%d...%!"
-    (Dag.n ml_dag) (List.length ml_ratios) par_jobs;
-  let sweep_j1, t_sweep_j1 = time (fun () -> Par.with_jobs 1 sweep) in
-  let sweep_jn, t_sweep_jn = time (fun () -> Par.with_jobs par_jobs sweep) in
-  Printf.eprintf " %.2fs vs %.2fs\n%!" t_sweep_j1 t_sweep_jn;
-  let sweep_cost_j1 = Bsp_cost.total ml_machine sweep_j1 in
-  let sweep_cost_jn = Bsp_cost.total ml_machine sweep_jn in
-  if sweep_cost_j1 <> sweep_cost_jn then
-    failwith
-      (Printf.sprintf
-         "parallel determinism violated: ratio sweep cost %d at jobs=1 but %d at jobs=%d"
-         sweep_cost_j1 sweep_cost_jn par_jobs);
+  let cores = Domain.recommended_domain_count () in
+  Printf.eprintf "[par] multilevel ratio sweep n=%d, %d ratios: jobs %s...%!"
+    (Dag.n ml_dag) (List.length ml_ratios)
+    (String.concat "," (List.map string_of_int par_sweep_jobs));
+  let sweep_runs =
+    List.map
+      (fun j ->
+        Par.reset_stats ();
+        let s, t = time (fun () -> Par.with_jobs j sweep) in
+        let r = (j, Bsp_cost.total ml_machine s, t, Par.stats ()) in
+        Printf.eprintf " %.2fs%!" t;
+        r)
+      par_sweep_jobs
+  in
+  Printf.eprintf "\n%!";
+  let t_of j =
+    match List.find_opt (fun (j', _, _, _) -> j' = j) sweep_runs with
+    | Some (_, _, t, _) -> Some t
+    | None -> None
+  in
+  let sweep_cost_j1, t_sweep_j1 =
+    match sweep_runs with
+    | (1, c, t, _) :: _ -> (c, t)
+    | _ -> assert false
+  in
+  List.iter
+    (fun (j, c, _, _) ->
+      if c <> sweep_cost_j1 then
+        failwith
+          (Printf.sprintf
+             "parallel determinism violated: ratio sweep cost %d at jobs=1 but %d at \
+              jobs=%d"
+             sweep_cost_j1 c j))
+    sweep_runs;
+  let t_sweep_jn = Option.get (t_of par_jobs) in
   let sweep_speedup = t_sweep_j1 /. t_sweep_jn in
+  let par_domains =
+    match List.find_opt (fun (j, _, _, _) -> j = par_jobs) sweep_runs with
+    | Some (_, _, _, st) -> st
+    | None -> []
+  in
   Printf.printf
-    "multilevel ratio sweep (n=%d, %d ratios): %.2fs at jobs=1, %.2fs at jobs=%d \
-     (speedup %.2fx, costs identical: %d)\n"
-    (Dag.n ml_dag) (List.length ml_ratios) t_sweep_j1 t_sweep_jn par_jobs sweep_speedup
-    sweep_cost_j1;
+    "multilevel ratio sweep (n=%d, %d ratios, cores=%d, costs identical: %d):\n"
+    (Dag.n ml_dag) (List.length ml_ratios) cores sweep_cost_j1;
+  Printf.printf "  %4s %10s %9s\n" "jobs" "seconds" "speedup";
+  List.iter
+    (fun (j, _, t, _) -> Printf.printf "  %4d %10.2f %8.2fx\n" j t (t_sweep_j1 /. t))
+    sweep_runs;
+  if par_domains <> [] then begin
+    Printf.printf "  per-domain GC/task stats at jobs=%d:\n" par_jobs;
+    List.iter
+      (fun (d : Par.domain_stats) ->
+        Printf.printf
+          "    domain %d (%s): %d tasks, %d batches, %.0f minor words (%.0f promoted), \
+           %d minor / %d major collections\n"
+          d.Par.domain_index
+          (if d.Par.is_worker then "worker" else "submitter")
+          d.Par.tasks_run d.Par.batches_drained d.Par.minor_words d.Par.promoted_words
+          d.Par.minor_collections d.Par.major_collections)
+      par_domains
+  end;
+  (* "ml_sweep_seconds_jobs4" keeps its historical name but records the
+     highest jobs count of the sweep (the "jobs" field next to it). *)
+  let sweep_json =
+    String.concat ",\n      "
+      (List.map
+         (fun (j, c, t, _) ->
+           Printf.sprintf {|{ "jobs": %d, "seconds": %.4f, "cost": %d }|} j t c)
+         sweep_runs)
+  in
+  let domains_json =
+    String.concat ",\n      "
+      (List.map
+         (fun (d : Par.domain_stats) ->
+           Printf.sprintf
+             {|{ "domain_index": %d, "is_worker": %b, "tasks_run": %d, "batches_drained": %d, "minor_words": %.0f, "promoted_words": %.0f, "minor_collections": %d, "major_collections": %d }|}
+             d.Par.domain_index d.Par.is_worker d.Par.tasks_run d.Par.batches_drained
+             d.Par.minor_words d.Par.promoted_words d.Par.minor_collections
+             d.Par.major_collections)
+         par_domains)
+  in
   let oc = open_out "BENCH_localsearch.json" in
   Printf.fprintf oc
     {|{
@@ -952,21 +1036,30 @@ let localsearch () =
   "pipeline_final_cost": %d,
   "parallel": {
     "jobs": %d,
+    "cores": %d,
+    "minor_heap_words": %d,
     "ml_sweep_nodes": %d,
     "ml_sweep_ratios": %d,
     "ml_sweep_seconds_jobs1": %.4f,
     "ml_sweep_seconds_jobs4": %.4f,
     "ml_sweep_speedup": %.2f,
     "ml_sweep_final_cost": %d,
-    "costs_equal": true
+    "costs_equal": true,
+    "sweep": [
+      %s
+    ],
+    "domains": [
+      %s
+    ]
   }
 }
 |}
     (Datasets.scale_name !scale) !seed !jobs n evals reps st_ref.Hc.moves_evaluated
     st_ref.Hc.moves_applied t_ref rate_ref st_ref.Hc.final_cost st_wl.Hc.moves_evaluated
     st_wl.Hc.moves_applied t_wl rate_wl st_wl.Hc.final_cost speedup t_pipe
-    stage.Pipeline.final_cost par_jobs (Dag.n ml_dag) (List.length ml_ratios) t_sweep_j1
-    t_sweep_jn sweep_speedup sweep_cost_j1;
+    stage.Pipeline.final_cost par_jobs cores Par.minor_heap_words (Dag.n ml_dag)
+    (List.length ml_ratios) t_sweep_j1 t_sweep_jn sweep_speedup sweep_cost_j1 sweep_json
+    domains_json;
   close_out oc;
   Printf.printf "wrote BENCH_localsearch.json and BENCH_localsearch.metrics.json\n"
 
@@ -1124,6 +1217,41 @@ let compare_snapshots ~baseline_path ~baseline ~fresh =
           (if regressed then "REGRESSED" else "ok")
       | _ -> Printf.printf "%-32s (missing in baseline or fresh snapshot — skipped)\n" name)
     guarded_metrics;
+  (* Absolute floor on the fresh parallel speedup, independent of the
+     baseline. Wall-clock speedup is physically bounded by the host's
+     core count, so the floor only binds when the fresh run had at least
+     as many cores as domains; on smaller hosts it downgrades to an
+     informational line (the determinism and cost guards above still
+     apply there). *)
+  (match !speedup_floor with
+   | None -> ()
+   | Some floor ->
+     let fresh_speedup = num [ "parallel"; "ml_sweep_speedup" ] fresh in
+     let fresh_cores = num [ "parallel"; "cores" ] fresh in
+     let fresh_jobs = num [ "parallel"; "jobs" ] fresh in
+     (match (fresh_speedup, fresh_cores, fresh_jobs) with
+      | None, _, _ ->
+        Printf.eprintf
+          "bench --compare: fresh snapshot has no parallel.ml_sweep_speedup — cannot \
+           apply --speedup-floor\n";
+        exit 2
+      | Some s, Some c, Some j when c >= j ->
+        if s < floor then begin
+          incr regressions;
+          Printf.printf "%-32s %14s %14.2f %8s  %s\n" "parallel speedup floor"
+            (Printf.sprintf ">= %.2f" floor) s "" "REGRESSED"
+        end
+        else
+          Printf.printf "%-32s %14s %14.2f %8s  %s\n" "parallel speedup floor"
+            (Printf.sprintf ">= %.2f" floor) s "" "ok"
+      | Some s, c, j ->
+        Printf.printf
+          "parallel speedup floor >= %.2f: not enforced (host has %s cores for %s \
+           domains; measured %.2fx)\n"
+          floor
+          (match c with Some c -> Printf.sprintf "%.0f" c | None -> "unknown")
+          (match j with Some j -> Printf.sprintf "%.0f" j | None -> "unknown")
+          s));
   if !regressions > 0 then begin
     Printf.eprintf
       "bench --compare: %d metric(s) regressed beyond tolerance (cost %.0f%%, perf \

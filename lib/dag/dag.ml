@@ -1,24 +1,94 @@
+(* Flat CSR adjacency (DESIGN.md Section 5f).
+
+   Both directions are stored as one offsets array (length n + 1) plus
+   one targets array (length m): the successors of u are
+   succ_tgt.(succ_off.(u)) .. succ_tgt.(succ_off.(u + 1) - 1), sorted
+   ascending and duplicate-free, and symmetrically for predecessors.
+   The topological order and rank caches are computed eagerly at
+   construction, so a built value is deeply immutable — sharing a DAG
+   across domains involves no lazy initialisation and therefore no data
+   race by construction ({!warm_caches} is a no-op kept for
+   compatibility). The flat layout also keeps the local-search hot
+   loops on two contiguous int arrays per direction instead of chasing
+   a pointer per node. *)
+
 type t = {
   n : int;
-  succ : int array array;
-  pred : int array array;
+  succ_off : int array;  (* length n + 1 *)
+  succ_tgt : int array;  (* length num_edges, per-node segments sorted *)
+  pred_off : int array;
+  pred_tgt : int array;
   work : int array;
   comm : int array;
-  (* Caches computed lazily; both are pure functions of the structure. *)
-  mutable topo : int array option;
-  mutable rank : int array option;
+  topo : int array;  (* eager: a deterministic topological order *)
+  rank : int array;  (* eager: position of each node in [topo] *)
 }
 
 let n g = g.n
-
-let num_edges g = Array.fold_left (fun acc a -> acc + Array.length a) 0 g.succ
+let num_edges g = Array.length g.succ_tgt
 
 let work g v = g.work.(v)
 let comm g v = g.comm.(v)
-let succ g v = g.succ.(v)
-let pred g v = g.pred.(v)
-let in_degree g v = Array.length g.pred.(v)
-let out_degree g v = Array.length g.succ.(v)
+
+let in_degree g v = g.pred_off.(v + 1) - g.pred_off.(v)
+let out_degree g v = g.succ_off.(v + 1) - g.succ_off.(v)
+
+(* Cold-path accessors: each call allocates a fresh slice. Hot loops use
+   the iterators below or the raw offsets/targets arrays directly. *)
+let succ g v = Array.sub g.succ_tgt g.succ_off.(v) (out_degree g v)
+let pred g v = Array.sub g.pred_tgt g.pred_off.(v) (in_degree g v)
+
+let succ_offsets g = g.succ_off
+let succ_targets g = g.succ_tgt
+let pred_offsets g = g.pred_off
+let pred_targets g = g.pred_tgt
+
+let iter_succ g v f =
+  for i = g.succ_off.(v) to g.succ_off.(v + 1) - 1 do
+    f (Array.unsafe_get g.succ_tgt i)
+  done
+
+let iter_pred g v f =
+  for i = g.pred_off.(v) to g.pred_off.(v + 1) - 1 do
+    f (Array.unsafe_get g.pred_tgt i)
+  done
+
+let fold_succ g v ~init f =
+  let acc = ref init in
+  for i = g.succ_off.(v) to g.succ_off.(v + 1) - 1 do
+    acc := f !acc (Array.unsafe_get g.succ_tgt i)
+  done;
+  !acc
+
+let fold_pred g v ~init f =
+  let acc = ref init in
+  for i = g.pred_off.(v) to g.pred_off.(v + 1) - 1 do
+    acc := f !acc (Array.unsafe_get g.pred_tgt i)
+  done;
+  !acc
+
+let exists_succ g v f =
+  let i = ref g.succ_off.(v) in
+  let stop = g.succ_off.(v + 1) in
+  let found = ref false in
+  while (not !found) && !i < stop do
+    if f (Array.unsafe_get g.succ_tgt !i) then found := true;
+    incr i
+  done;
+  !found
+
+let exists_pred g v f =
+  let i = ref g.pred_off.(v) in
+  let stop = g.pred_off.(v + 1) in
+  let found = ref false in
+  while (not !found) && !i < stop do
+    if f (Array.unsafe_get g.pred_tgt !i) then found := true;
+    incr i
+  done;
+  !found
+
+let for_all_succ g v f = not (exists_succ g v (fun w -> not (f w)))
+let for_all_pred g v f = not (exists_pred g v (fun w -> not (f w)))
 
 let total_work g = Array.fold_left ( + ) 0 g.work
 let total_comm g = Array.fold_left ( + ) 0 g.comm
@@ -39,27 +109,41 @@ let sinks g =
 
 let iter_edges g f =
   for u = 0 to g.n - 1 do
-    Array.iter (fun v -> f u v) g.succ.(u)
+    for i = g.succ_off.(u) to g.succ_off.(u + 1) - 1 do
+      f u (Array.unsafe_get g.succ_tgt i)
+    done
   done
 
 let edges g =
   let acc = ref [] in
   for u = g.n - 1 downto 0 do
-    let s = g.succ.(u) in
-    for i = Array.length s - 1 downto 0 do
-      acc := (u, s.(i)) :: !acc
+    for i = g.succ_off.(u + 1) - 1 downto g.succ_off.(u) do
+      acc := (u, g.succ_tgt.(i)) :: !acc
     done
   done;
   !acc
 
-let has_edge g u v = Array.exists (fun x -> x = v) g.succ.(u)
+(* Segments are sorted, so membership is a binary search. *)
+let has_edge g u v =
+  let lo = ref g.succ_off.(u) and hi = ref (g.succ_off.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = g.succ_tgt.(mid) in
+    if x = v then found := true else if x < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                       *)
 
 (* Kahn's algorithm with a smallest-id-first priority discipline so the
    resulting order is deterministic and independent of edge insertion
-   order. A simple module-level binary heap keeps this O((n+m) log n). *)
-let compute_topo g =
-  let indeg = Array.init g.n (fun v -> in_degree g v) in
-  let heap = Array.make (g.n + 1) 0 in
+   order. A simple module-level binary heap keeps this O((n+m) log n).
+   Returns [None] when the edge set contains a directed cycle. *)
+let compute_topo ~n ~succ_off ~succ_tgt ~pred_off =
+  let indeg = Array.init n (fun v -> pred_off.(v + 1) - pred_off.(v)) in
+  let heap = Array.make (n + 1) 0 in
   let size = ref 0 in
   let push x =
     incr size;
@@ -94,47 +178,70 @@ let compute_topo g =
     done;
     top
   in
-  for v = 0 to g.n - 1 do
+  for v = 0 to n - 1 do
     if indeg.(v) = 0 then push v
   done;
-  let order = Array.make g.n 0 in
+  let order = Array.make n 0 in
   let k = ref 0 in
   while !size > 0 do
     let u = pop () in
     order.(!k) <- u;
     incr k;
-    Array.iter
-      (fun v ->
-        indeg.(v) <- indeg.(v) - 1;
-        if indeg.(v) = 0 then push v)
-      g.succ.(u)
+    for i = succ_off.(u) to succ_off.(u + 1) - 1 do
+      let v = succ_tgt.(i) in
+      indeg.(v) <- indeg.(v) - 1;
+      if indeg.(v) = 0 then push v
+    done
   done;
-  if !k <> g.n then failwith "Dag: graph contains a directed cycle";
-  order
+  if !k <> n then None else Some order
 
-let topological_order g =
-  match g.topo with
-  | Some o -> o
-  | None ->
-    let o = compute_topo g in
-    g.topo <- Some o;
-    o
+(* In-place quicksort-with-insertion-cutoff of one CSR segment. *)
+let sort_segment a lo hi =
+  let rec qsort lo hi =
+    if hi - lo > 12 then begin
+      let mid = (lo + hi) / 2 in
+      (* median-of-three pivot *)
+      let p =
+        let x = a.(lo) and y = a.(mid) and z = a.(hi) in
+        if x < y then if y < z then y else if x < z then z else x
+        else if x < z then x
+        else if y < z then z
+        else y
+      in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.(!i) < p do incr i done;
+        while a.(!j) > p do decr j done;
+        if !i <= !j then begin
+          let tmp = a.(!i) in
+          a.(!i) <- a.(!j);
+          a.(!j) <- tmp;
+          incr i;
+          decr j
+        end
+      done;
+      qsort lo !j;
+      qsort !i hi
+    end
+    else
+      for i = lo + 1 to hi do
+        let x = a.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && a.(!j) > x do
+          a.(!j + 1) <- a.(!j);
+          decr j
+        done;
+        a.(!j + 1) <- x
+      done
+  in
+  if hi > lo then qsort lo hi
 
-let topological_rank g =
-  match g.rank with
-  | Some r -> r
-  | None ->
-    let o = topological_order g in
-    let r = Array.make g.n 0 in
-    Array.iteri (fun i v -> r.(v) <- i) o;
-    g.rank <- Some r;
-    r
-
-let warm_caches g =
-  ignore (topological_order g : int array);
-  ignore (topological_rank g : int array)
-
-let build_arrays ~n ~edges =
+(* Build both CSR directions from a raw edge list: count, fill, sort
+   each successor segment, compact out duplicates, then derive the
+   predecessor side by a counting pass over the deduplicated successors
+   (iterating u ascending makes every predecessor segment sorted and
+   duplicate-free for free). *)
+let build_csr ~n ~edges =
   if n < 0 then invalid_arg "Dag: negative node count";
   List.iter
     (fun (u, v) ->
@@ -142,47 +249,120 @@ let build_arrays ~n ~edges =
         invalid_arg "Dag: edge endpoint out of range";
       if u = v then invalid_arg "Dag: self-loop")
     edges;
-  let succ_sets = Array.make n [] in
-  List.iter (fun (u, v) -> succ_sets.(u) <- v :: succ_sets.(u)) edges;
-  let dedup l = List.sort_uniq compare l in
-  let succ = Array.map (fun l -> Array.of_list (dedup l)) succ_sets in
-  let pred_sets = Array.make n [] in
-  Array.iteri (fun u s -> Array.iter (fun v -> pred_sets.(v) <- u :: pred_sets.(v)) s) succ;
-  let pred = Array.map (fun l -> Array.of_list (dedup l)) pred_sets in
-  (succ, pred)
+  let deg = Array.make (n + 1) 0 in
+  List.iter (fun (u, _) -> deg.(u) <- deg.(u) + 1) edges;
+  let succ_off = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    succ_off.(v) <- succ_off.(v - 1) + deg.(v - 1)
+  done;
+  let m_raw = succ_off.(n) in
+  let succ_tgt = Array.make m_raw 0 in
+  let cursor = Array.make n 0 in
+  Array.blit succ_off 0 cursor 0 n;
+  List.iter
+    (fun (u, v) ->
+      succ_tgt.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1)
+    edges;
+  for u = 0 to n - 1 do
+    sort_segment succ_tgt succ_off.(u) (succ_off.(u + 1) - 1)
+  done;
+  (* Compact duplicates in place, left-packing the segments. *)
+  let write = ref 0 in
+  let off_out = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off_out.(u) <- !write;
+    let prev = ref (-1) in
+    for i = succ_off.(u) to succ_off.(u + 1) - 1 do
+      let v = succ_tgt.(i) in
+      if v <> !prev then begin
+        succ_tgt.(!write) <- v;
+        incr write;
+        prev := v
+      end
+    done
+  done;
+  off_out.(n) <- !write;
+  let m = !write in
+  let succ_tgt = if m = m_raw then succ_tgt else Array.sub succ_tgt 0 m in
+  let succ_off = off_out in
+  (* Predecessor side. *)
+  let indeg = Array.make (n + 1) 0 in
+  for i = 0 to m - 1 do
+    let v = succ_tgt.(i) in
+    indeg.(v) <- indeg.(v) + 1
+  done;
+  let pred_off = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    pred_off.(v) <- pred_off.(v - 1) + indeg.(v - 1)
+  done;
+  let pred_tgt = Array.make m 0 in
+  Array.blit pred_off 0 cursor 0 n;
+  for u = 0 to n - 1 do
+    for i = succ_off.(u) to succ_off.(u + 1) - 1 do
+      let v = succ_tgt.(i) in
+      pred_tgt.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done;
+  (succ_off, succ_tgt, pred_off, pred_tgt)
 
-let of_edges_unchecked ~n ~edges ~work ~comm =
+let build ~n ~edges ~work ~comm ~on_cycle =
   if Array.length work <> n || Array.length comm <> n then
     invalid_arg "Dag: weight array length mismatch";
   Array.iter (fun w -> if w < 0 then invalid_arg "Dag: negative work weight") work;
   Array.iter (fun c -> if c < 0 then invalid_arg "Dag: negative comm weight") comm;
-  let succ, pred = build_arrays ~n ~edges in
-  { n; succ; pred; work = Array.copy work; comm = Array.copy comm; topo = None; rank = None }
+  let succ_off, succ_tgt, pred_off, pred_tgt = build_csr ~n ~edges in
+  match compute_topo ~n ~succ_off ~succ_tgt ~pred_off with
+  | None -> on_cycle ()
+  | Some topo ->
+    let rank = Array.make n 0 in
+    Array.iteri (fun i v -> rank.(v) <- i) topo;
+    {
+      n;
+      succ_off;
+      succ_tgt;
+      pred_off;
+      pred_tgt;
+      work = Array.copy work;
+      comm = Array.copy comm;
+      topo;
+      rank;
+    }
+
+(* The topological order doubles as the acyclicity witness, so both
+   constructors compute it eagerly; they differ only in the exception
+   raised on a cycle (matching the historical lazily-raised ones). *)
+let of_edges_unchecked ~n ~edges ~work ~comm =
+  build ~n ~edges ~work ~comm ~on_cycle:(fun () ->
+      failwith "Dag: graph contains a directed cycle")
 
 let of_edges ~n ~edges ~work ~comm =
-  let g = of_edges_unchecked ~n ~edges ~work ~comm in
-  (* Computing the topological order both validates acyclicity and warms
-     the cache. *)
-  (try ignore (topological_order g : int array)
-   with Failure _ -> invalid_arg "Dag.of_edges: edge set contains a directed cycle");
-  g
+  build ~n ~edges ~work ~comm ~on_cycle:(fun () ->
+      invalid_arg "Dag.of_edges: edge set contains a directed cycle")
 
 let is_acyclic_edges ~n edges =
-  let work = Array.make n 0 and comm = Array.make n 0 in
-  let g = of_edges_unchecked ~n ~edges ~work ~comm in
-  match compute_topo g with
-  | (_ : int array) -> true
-  | exception Failure _ -> false
+  match build_csr ~n ~edges with
+  | succ_off, succ_tgt, pred_off, _ ->
+    compute_topo ~n ~succ_off ~succ_tgt ~pred_off <> None
+
+let topological_order g = g.topo
+let topological_rank g = g.rank
+
+(* Caches are eager since the CSR refactor; kept so call sites guarding
+   cross-domain sharing need no change (and as documentation of the
+   sharing discipline). *)
+let warm_caches (_ : t) = ()
 
 let wavefronts g =
-  let order = topological_order g in
   let level = Array.make g.n 0 in
   Array.iter
     (fun v ->
-      Array.iter
-        (fun u -> if level.(u) + 1 > level.(v) then level.(v) <- level.(u) + 1)
-        g.pred.(v))
-    order;
+      for i = g.pred_off.(v) to g.pred_off.(v + 1) - 1 do
+        let u = g.pred_tgt.(i) in
+        if level.(u) + 1 > level.(v) then level.(v) <- level.(u) + 1
+      done)
+    g.topo;
   level
 
 let num_wavefronts g =
@@ -190,16 +370,15 @@ let num_wavefronts g =
   else 1 + Array.fold_left max 0 (wavefronts g)
 
 let bottom_level g ~comm_factor =
-  let order = topological_order g in
   let bl = Array.make g.n 0 in
   for i = g.n - 1 downto 0 do
-    let v = order.(i) in
+    let v = g.topo.(i) in
     let best = ref 0 in
-    Array.iter
-      (fun u ->
-        let cand = (comm_factor * g.comm.(v)) + bl.(u) in
-        if cand > !best then best := cand)
-      g.succ.(v);
+    for k = g.succ_off.(v) to g.succ_off.(v + 1) - 1 do
+      let u = g.succ_tgt.(k) in
+      let cand = (comm_factor * g.comm.(v)) + bl.(u) in
+      if cand > !best then best := cand
+    done;
     bl.(v) <- g.work.(v) + !best
   done;
   bl
@@ -211,20 +390,17 @@ let critical_path_work g =
 let has_path_impl g u v ~skip_direct =
   if u = v then true
   else begin
-    let rank = topological_rank g in
-    let target_rank = rank.(v) in
+    let target_rank = g.rank.(v) in
     let visited = Hashtbl.create 16 in
     let rec dfs x ~first =
       if x = v then true
-      else if rank.(x) >= target_rank then false
+      else if g.rank.(x) >= target_rank then false
       else if Hashtbl.mem visited x then false
       else begin
         Hashtbl.add visited x ();
-        Array.exists
-          (fun y ->
+        exists_succ g x (fun y ->
             if first && skip_direct && y = v then false
             else dfs y ~first:false)
-          g.succ.(x)
       end
     in
     dfs u ~first:true
@@ -266,8 +442,8 @@ let largest_weakly_connected_component g =
               Stack.push y stack
             end
           in
-          Array.iter visit g.succ.(x);
-          Array.iter visit g.pred.(x)
+          iter_succ g x visit;
+          iter_pred g x visit
         done
       end
     done;
@@ -282,14 +458,13 @@ let largest_weakly_connected_component g =
     induced_subgraph g !nodes
   end
 
+(* The adjacency, topo and rank arrays are structure-only and immutable,
+   so the reweighted DAG shares them. *)
 let map_weights g ~work ~comm =
-  {
-    g with
-    work = Array.init g.n work;
-    comm = Array.init g.n comm;
-    topo = g.topo;
-    rank = g.rank;
-  }
+  let w = Array.init g.n work and c = Array.init g.n comm in
+  Array.iter (fun x -> if x < 0 then invalid_arg "Dag: negative work weight") w;
+  Array.iter (fun x -> if x < 0 then invalid_arg "Dag: negative comm weight") c;
+  { g with work = w; comm = c }
 
 let assign_paper_weights g =
   map_weights g
@@ -302,6 +477,6 @@ let pp fmt g =
     Format.fprintf fmt "  %d (w=%d c=%d) -> %a@," u g.work.(u) g.comm.(u)
       (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ")
          Format.pp_print_int)
-      (Array.to_list g.succ.(u))
+      (Array.to_list (succ g u))
   done;
   Format.fprintf fmt "@]"

@@ -11,7 +11,16 @@
       [v] to one other processor (e.g. its size in bytes).
 
     Nodes are identified by dense integers [0 .. n-1]. The structure is
-    immutable once built. *)
+    immutable once built.
+
+    {b Representation.} Adjacency is stored flat in CSR form — one
+    offsets array plus one targets array per direction, each node's
+    segment sorted ascending — and the topological order/rank caches
+    are computed eagerly at construction (DESIGN.md Section 5f). A
+    built value therefore contains no mutable state at all and can be
+    shared freely across domains. Hot loops should use the zero-
+    allocation iterators ({!iter_succ} and friends) or the raw CSR
+    accessors; {!succ}/{!pred} allocate a fresh slice per call. *)
 
 type t
 
@@ -25,9 +34,11 @@ val of_edges : n:int -> edges:(int * int) list -> work:int array -> comm:int arr
     contains a directed cycle. *)
 
 val of_edges_unchecked : n:int -> edges:(int * int) list -> work:int array -> comm:int array -> t
-(** Same as {!of_edges} but skips the acyclicity check (still collapses
-    duplicates and validates ranges). Useful when the caller constructed
-    the edges in topological order by design. *)
+(** Same as {!of_edges} but intended for callers that constructed the
+    edges acyclic by design. The eager topological sort still witnesses
+    acyclicity as a by-product; if the promise is broken this raises
+    [Failure "Dag: graph contains a directed cycle"] (the same error the
+    lazy cache historically raised on first topo access). *)
 
 (** {1 Basic accessors} *)
 
@@ -43,13 +54,42 @@ val comm : t -> int -> int
 (** [comm g v] is [c v]. *)
 
 val succ : t -> int -> int array
-(** Direct successors of a node. Do not mutate the returned array. *)
+(** Direct successors of a node, sorted ascending. Allocates a fresh
+    slice per call — fine on cold paths, use {!iter_succ} in hot loops. *)
 
 val pred : t -> int -> int array
-(** Direct predecessors of a node. Do not mutate the returned array. *)
+(** Direct predecessors of a node, sorted ascending. Allocates a fresh
+    slice per call — fine on cold paths, use {!iter_pred} in hot loops. *)
 
 val in_degree : t -> int -> int
 val out_degree : t -> int -> int
+
+(** {2 Zero-allocation adjacency access}
+
+    The iterators below traverse a node's CSR segment without
+    allocating. The raw accessors expose the underlying arrays for the
+    tightest loops (local-search delta evaluation): the neighbours of
+    [v] in e.g. the successor direction are
+    [succ_targets.(i)] for [succ_offsets.(v) <= i < succ_offsets.(v+1)].
+    Callers must not mutate the returned arrays. *)
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+val iter_pred : t -> int -> (int -> unit) -> unit
+val fold_succ : t -> int -> init:'a -> ('a -> int -> 'a) -> 'a
+val fold_pred : t -> int -> init:'a -> ('a -> int -> 'a) -> 'a
+val exists_succ : t -> int -> (int -> bool) -> bool
+val exists_pred : t -> int -> (int -> bool) -> bool
+val for_all_succ : t -> int -> (int -> bool) -> bool
+val for_all_pred : t -> int -> (int -> bool) -> bool
+
+val succ_offsets : t -> int array
+(** Length [n + 1]; [succ_offsets.(n)] = {!num_edges}. *)
+
+val succ_targets : t -> int array
+(** Length {!num_edges}; per-node segments sorted ascending. *)
+
+val pred_offsets : t -> int array
+val pred_targets : t -> int array
 
 val total_work : t -> int
 val total_comm : t -> int
@@ -77,12 +117,11 @@ val topological_rank : t -> int array
 (** [rank.(v)] is the position of [v] in {!topological_order}. *)
 
 val warm_caches : t -> unit
-(** Force the lazy topological-order/rank caches. Call before sharing a
-    DAG across domains (a [Par] fan-out does): the caches are pure
-    functions of the structure, so a race would be benign in value, but
-    concurrent lazy initialisation is still a data race under the OCaml
-    memory model — warming them first makes subsequent parallel reads
-    read-only. *)
+(** No-op. The topological order and rank are computed eagerly at
+    construction since the CSR refactor, so a DAG is always safe to
+    share across domains. Kept so existing call sites guarding [Par]
+    fan-outs keep compiling (and as documentation of why no warming is
+    needed). *)
 
 val wavefronts : t -> int array
 (** [wavefronts g] assigns each node its earliest level: sources are

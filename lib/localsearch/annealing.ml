@@ -93,6 +93,7 @@ let improve ?(budget = Budget.unlimited ()) ?config machine sched =
     Obs.Metrics.counter "annealing.moves_rejected" !rejected;
     Obs.Metrics.counter "annealing.uphill_accepted" !uphill;
     let result = Schedule.of_assignment dag ~proc:best_proc ~step:best_step in
+    Assignment_state.release st;
     ( result,
       {
         moves_accepted = !accepted;

@@ -1,5 +1,12 @@
 type t = {
   dag : Dag.t;
+  (* Aliases of the DAG's CSR adjacency arrays: with the flat
+     representation, [Dag.succ]/[Dag.pred] allocate a slice per call, so
+     every hot loop below walks offsets/targets directly instead. *)
+  soff : int array;
+  stgt : int array;
+  poff : int array;
+  ptgt : int array;
   machine_ : Machine.t;
   p : int;
   num_steps_ : int;
@@ -105,16 +112,16 @@ let recompute_first_need st u =
     st.first_need.(base + q) <- no_need;
     st.fn_count.(base + q) <- 0
   done;
-  Array.iter
-    (fun v ->
-      let idx = base + st.proc_.(v) in
-      let s = st.step_.(v) in
-      if s < st.first_need.(idx) then begin
-        st.first_need.(idx) <- s;
-        st.fn_count.(idx) <- 1
-      end
-      else if s = st.first_need.(idx) then st.fn_count.(idx) <- st.fn_count.(idx) + 1)
-    (Dag.succ st.dag u);
+  for i = st.soff.(u) to st.soff.(u + 1) - 1 do
+    let v = Array.unsafe_get st.stgt i in
+    let idx = base + st.proc_.(v) in
+    let s = st.step_.(v) in
+    if s < st.first_need.(idx) then begin
+      st.first_need.(idx) <- s;
+      st.fn_count.(idx) <- 1
+    end
+    else if s = st.first_need.(idx) then st.fn_count.(idx) <- st.fn_count.(idx) + 1
+  done;
   let cnt = ref 0 in
   for q = 0 to st.p - 1 do
     if st.first_need.(base + q) <> no_need then incr cnt
@@ -127,17 +134,17 @@ let rescan_fn st u q =
   let idx = (u * st.p) + q in
   let old_fn = st.first_need.(idx) in
   let m = ref no_need and c = ref 0 in
-  Array.iter
-    (fun w ->
-      if st.proc_.(w) = q then begin
-        let s = st.step_.(w) in
-        if s < !m then begin
-          m := s;
-          c := 1
-        end
-        else if s = !m then incr c
-      end)
-    (Dag.succ st.dag u);
+  for i = st.soff.(u) to st.soff.(u + 1) - 1 do
+    let w = Array.unsafe_get st.stgt i in
+    if st.proc_.(w) = q then begin
+      let s = st.step_.(w) in
+      if s < !m then begin
+        m := s;
+        c := 1
+      end
+      else if s = !m then incr c
+    end
+  done;
   st.first_need.(idx) <- !m;
   st.fn_count.(idx) <- !c;
   if old_fn = no_need && !m <> no_need then st.ev_cnt.(u) <- st.ev_cnt.(u) + 1
@@ -161,24 +168,79 @@ let source_comm_all st u sign =
     source_comm_one st u q sign
   done
 
+(* ------------------------------------------------------------------ *)
+(* Per-domain scratch pooling (DESIGN.md Section 5f).
+
+   [init] allocates ~25 scratch arrays plus the cost-table matrices;
+   the multilevel refinement loop and the pipeline's candidate fan-out
+   create one state per candidate, which at jobs > 1 turns into minor-
+   heap churn on every domain and cross-domain stop-the-world minor
+   collections. Released states are parked on a small per-domain stack
+   (Domain.DLS — never shared, so no synchronisation) and [init] reuses
+   any backing array that is big enough for the new instance.
+
+   Invariant for pooled arrays: the delta/overlay scratch (d_work,
+   d_send, d_recv, cell_mark, step_touched, base_mark, col_mark) is
+   entirely zero/false — [release] restores this via [reset_scratch],
+   and freshly allocated arrays start that way. All other reused arrays
+   are fully overwritten before being read. *)
+
+let pool_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let max_pooled = 4
+
+let take_pooled () =
+  let pool = Domain.DLS.get pool_key in
+  match !pool with
+  | [] -> None
+  | st :: rest ->
+    pool := rest;
+    Some st
+
 let init machine (sched : Schedule.t) =
   let dag = sched.Schedule.dag in
   let n = Dag.n dag in
   let p = machine.Machine.p in
   let num_steps = Schedule.num_supersteps sched in
-  let table = Cost_table.create machine ~num_steps in
   let max_in = ref 1 in
   for v = 0 to n - 1 do
-    let d = Array.length (Dag.pred dag v) in
+    let d = Dag.in_degree dag v in
     if d > !max_in then max_in := d
   done;
   let max_in = !max_in in
+  let pooled = take_pooled () in
+  (* Reuse a pooled backing array when its capacity suffices; the
+     strides in every index computation come from the new [p] and
+     [num_steps] fields, so oversized arrays are safe. *)
+  let gi get len =
+    match pooled with
+    | Some o when Array.length (get o) >= len -> get o
+    | _ -> Array.make (max len 1) 0
+  in
+  let gb get len =
+    match pooled with
+    | Some o when Array.length (get o) >= len -> get o
+    | _ -> Array.make (max len 1) false
+  in
+  let table =
+    match pooled with
+    | Some o -> Cost_table.recycle o.table machine ~num_steps
+    | None -> Cost_table.create machine ~num_steps
+  in
+  let np = n * p in
+  let sp = num_steps * p in
+  let steps1 = max num_steps 1 in
   let st =
     {
       dag;
+      soff = Dag.succ_offsets dag;
+      stgt = Dag.succ_targets dag;
+      poff = Dag.pred_offsets dag;
+      ptgt = Dag.pred_targets dag;
       machine_ = machine;
       p;
       num_steps_ = num_steps;
+      (* Exact length: [snapshot]/[assignment] hand these to consumers
+         that check the length against the DAG. *)
       proc_ = Array.copy sched.Schedule.proc;
       step_ = Array.copy sched.Schedule.step;
       table;
@@ -188,45 +250,48 @@ let init machine (sched : Schedule.t) =
       cost_c = Cost_table.step_costs table;
       wmax_c = Cost_table.work_max table;
       hmax_c = Cost_table.comm_max table;
-      first_need = Array.make (n * p) no_need;
-      fn_count = Array.make (n * p) 0;
-      ev_cnt = Array.make n 0;
-      d_work = Array.make (num_steps * p) 0;
-      d_send = Array.make (num_steps * p) 0;
-      d_recv = Array.make (num_steps * p) 0;
-      cell_mark = Array.make (num_steps * p) false;
-      touched_cells = Array.make 64 0;
+      first_need = gi (fun o -> o.first_need) np;
+      fn_count = gi (fun o -> o.fn_count) np;
+      ev_cnt = gi (fun o -> o.ev_cnt) n;
+      d_work = gi (fun o -> o.d_work) sp;
+      d_send = gi (fun o -> o.d_send) sp;
+      d_recv = gi (fun o -> o.d_recv) sp;
+      cell_mark = gb (fun o -> o.cell_mark) sp;
+      touched_cells = gi (fun o -> o.touched_cells) 64;
       touched_cells_len = 0;
-      touched_steps = Array.make (max num_steps 1) 0;
+      touched_steps = gi (fun o -> o.touched_steps) steps1;
       touched_steps_len = 0;
-      step_touched = Array.make (max num_steps 1) false;
-      pred_without = Array.make max_in no_need;
-      undo_cell = Array.make 16 0;
-      undo_kind = Array.make 16 0;
-      undo_amt = Array.make 16 0;
+      step_touched = gb (fun o -> o.step_touched) steps1;
+      pred_without = gi (fun o -> o.pred_without) max_in;
+      undo_cell = gi (fun o -> o.undo_cell) 16;
+      undo_kind = gi (fun o -> o.undo_kind) 16;
+      undo_amt = gi (fun o -> o.undo_amt) 16;
       undo_len = 0;
-      ev_q = Array.make p 0;
-      ev_ph = Array.make p 0;
-      pred_src = Array.make max_in 0;
-      pred_comm = Array.make max_in 0;
-      pred_fn_base = Array.make max_in 0;
-      pred_lam = Array.make max_in [||];
+      ev_q = gi (fun o -> o.ev_q) p;
+      ev_ph = gi (fun o -> o.ev_ph) p;
+      pred_src = gi (fun o -> o.pred_src) max_in;
+      pred_comm = gi (fun o -> o.pred_comm) max_in;
+      pred_fn_base = gi (fun o -> o.pred_fn_base) max_in;
+      pred_lam =
+        (match pooled with
+        | Some o when Array.length o.pred_lam >= max_in -> o.pred_lam
+        | _ -> Array.make max_in [||]);
       row_node = -1;
       row_base_delta = 0;
       row_cnt = 0;
       row_wv = 0;
       row_cv = 0;
       row_npred = 0;
-      base_mark = Array.make (max num_steps 1) false;
-      base_wm = Array.make (max num_steps 1) 0;
-      base_hm = Array.make (max num_steps 1) 0;
-      base_cost = Array.make (max num_steps 1) 0;
-      col_mark = Array.make (max num_steps 1) false;
-      col_steps = Array.make (max num_steps 1) 0;
+      base_mark = gb (fun o -> o.base_mark) steps1;
+      base_wm = gi (fun o -> o.base_wm) steps1;
+      base_hm = gi (fun o -> o.base_hm) steps1;
+      base_cost = gi (fun o -> o.base_cost) steps1;
+      col_mark = gb (fun o -> o.col_mark) steps1;
+      col_steps = gi (fun o -> o.col_steps) steps1;
       col_steps_len = 0;
-      col_wm = Array.make (max num_steps 1) 0;
-      col_hm = Array.make (max num_steps 1) 0;
-      col_neg = Array.make (max num_steps 1) false;
+      col_wm = gi (fun o -> o.col_wm) steps1;
+      col_hm = gi (fun o -> o.col_hm) steps1;
+      col_neg = gb (fun o -> o.col_neg) steps1;
     }
   in
   for v = 0 to n - 1 do
@@ -241,12 +306,27 @@ let init machine (sched : Schedule.t) =
 
 let valid_move st v p2 s2 =
   s2 >= 0 && s2 < st.num_steps_
-  && Array.for_all
-       (fun u -> if st.proc_.(u) = p2 then st.step_.(u) <= s2 else st.step_.(u) < s2)
-       (Dag.pred st.dag v)
-  && Array.for_all
-       (fun w -> if st.proc_.(w) = p2 then st.step_.(w) >= s2 else st.step_.(w) > s2)
-       (Dag.succ st.dag v)
+  &&
+  let ok = ref true in
+  let i = ref st.poff.(v) and stop = st.poff.(v + 1) in
+  while !ok && !i < stop do
+    let u = Array.unsafe_get st.ptgt !i in
+    if st.proc_.(u) = p2 then begin
+      if st.step_.(u) > s2 then ok := false
+    end
+    else if st.step_.(u) >= s2 then ok := false;
+    incr i
+  done;
+  let j = ref st.soff.(v) and stop = st.soff.(v + 1) in
+  while !ok && !j < stop do
+    let w = Array.unsafe_get st.stgt !j in
+    if st.proc_.(w) = p2 then begin
+      if st.step_.(w) < s2 then ok := false
+    end
+    else if st.step_.(w) <= s2 then ok := false;
+    incr j
+  done;
+  !ok
 
 (* The whole neighbourhood of one node shares its validity structure:
    a candidate (p2, s2) is valid iff s2 clears the latest predecessor
@@ -256,26 +336,26 @@ let valid_move st v p2 s2 =
    makes the per-candidate check O(1) instead of a pred/succ scan. *)
 let move_window st v =
   let last_pred = ref (-1) and last_pred_proc = ref (-1) in
-  Array.iter
-    (fun u ->
-      let s = st.step_.(u) in
-      if s > !last_pred then begin
-        last_pred := s;
-        last_pred_proc := st.proc_.(u)
-      end
-      else if s = !last_pred && st.proc_.(u) <> !last_pred_proc then last_pred_proc := -1)
-    (Dag.pred st.dag v);
+  for i = st.poff.(v) to st.poff.(v + 1) - 1 do
+    let u = Array.unsafe_get st.ptgt i in
+    let s = st.step_.(u) in
+    if s > !last_pred then begin
+      last_pred := s;
+      last_pred_proc := st.proc_.(u)
+    end
+    else if s = !last_pred && st.proc_.(u) <> !last_pred_proc then last_pred_proc := -1
+  done;
   let first_succ = ref st.num_steps_ and first_succ_proc = ref (-1) in
-  Array.iter
-    (fun w ->
-      let s = st.step_.(w) in
-      if s < !first_succ then begin
-        first_succ := s;
-        first_succ_proc := st.proc_.(w)
-      end
-      else if s = !first_succ && st.proc_.(w) <> !first_succ_proc then
-        first_succ_proc := -1)
-    (Dag.succ st.dag v);
+  for i = st.soff.(v) to st.soff.(v + 1) - 1 do
+    let w = Array.unsafe_get st.stgt i in
+    let s = st.step_.(w) in
+    if s < !first_succ then begin
+      first_succ := s;
+      first_succ_proc := st.proc_.(w)
+    end
+    else if s = !first_succ && st.proc_.(w) <> !first_succ_proc then
+      first_succ_proc := -1
+  done;
   (!last_pred, !last_pred_proc, !first_succ, !first_succ_proc)
 
 (* ------------------------------------------------------------------ *)
@@ -399,10 +479,10 @@ let fn_after st u q v p2 s2 =
     else if st.fn_count.(idx) > 1 then old_fn
     else begin
       let m = ref no_need in
-      Array.iter
-        (fun w ->
-          if w <> v && st.proc_.(w) = q && st.step_.(w) < !m then m := st.step_.(w))
-        (Dag.succ st.dag u);
+      for i = st.soff.(u) to st.soff.(u + 1) - 1 do
+        let w = Array.unsafe_get st.stgt i in
+        if w <> v && st.proc_.(w) = q && st.step_.(w) < !m then m := st.step_.(w)
+      done;
       !m
     end
   in
@@ -461,9 +541,8 @@ let delta_cost st v p2 s2 =
        addition on the p2 side (the minimum moves only when s2 beats
        it), both O(1) outside the rare unique-attainer rescan; only the
        same-processor superstep move needs the generic {!fn_after}. *)
-    let preds = Dag.pred st.dag v in
-    for k = 0 to Array.length preds - 1 do
-      let u = preds.(k) in
+    for k = st.poff.(v) to st.poff.(v + 1) - 1 do
+      let u = Array.unsafe_get st.ptgt k in
       let src = st.proc_.(u) in
       if p2 = p1 then begin
         if p1 <> src then begin
@@ -483,11 +562,11 @@ let delta_cost st v p2 s2 =
            (* v is a successor of u on p1, so old_fn <= s1 < no_need. *)
            if s1 = old_fn && Array.unsafe_get st.fn_count idx = 1 then begin
              let m = ref no_need in
-             Array.iter
-               (fun w ->
-                 if w <> v && st.proc_.(w) = p1 && st.step_.(w) < !m then
-                   m := st.step_.(w))
-               (Dag.succ st.dag u);
+             for i = st.soff.(u) to st.soff.(u + 1) - 1 do
+               let w = Array.unsafe_get st.stgt i in
+               if w <> v && st.proc_.(w) = p1 && st.step_.(w) < !m then
+                 m := st.step_.(w)
+             done;
              if !m <> old_fn then begin
                let vol = Dag.comm st.dag u * st.machine_.Machine.lambda.(src).(p1) in
                acc_comm st (old_fn - 1) ~src ~dst:p1 (-vol);
@@ -665,10 +744,10 @@ let build_row_base st v =
        incr q
      done
    end);
-  let preds = Dag.pred st.dag v in
-  let npred = Array.length preds in
+  let pbase = st.poff.(v) in
+  let npred = st.poff.(v + 1) - pbase in
   for k = 0 to npred - 1 do
-    let u = Array.unsafe_get preds k in
+    let u = Array.unsafe_get st.ptgt (pbase + k) in
     let src = st.proc_.(u) in
     st.pred_src.(k) <- src;
     st.pred_comm.(k) <- Dag.comm st.dag u;
@@ -684,11 +763,11 @@ let build_row_base st v =
          let old_fn = Array.unsafe_get st.first_need idx in
          if s1 = old_fn && Array.unsafe_get st.fn_count idx = 1 then begin
            let m = ref no_need in
-           Array.iter
-             (fun w ->
-               if w <> v && st.proc_.(w) = p1 && st.step_.(w) < !m then
-                 m := st.step_.(w))
-             (Dag.succ st.dag u);
+           for i = st.soff.(u) to st.soff.(u + 1) - 1 do
+             let w = Array.unsafe_get st.stgt i in
+             if w <> v && st.proc_.(w) = p1 && st.step_.(w) < !m then
+               m := st.step_.(w)
+           done;
            if !m <> old_fn then begin
              let vol = Dag.comm st.dag u * st.machine_.Machine.lambda.(src).(p1) in
              acc_comm st (old_fn - 1) ~src ~dst:p1 (-vol);
@@ -864,22 +943,22 @@ let apply_move st v p2 s2 =
      first_need entries of v do not change (its successors stay put). *)
   source_comm_all st v (-1);
   (* Predecessors: only their events towards p1 and p2 can change. *)
-  Array.iter
-    (fun u ->
-      source_comm_one st u p1 (-1);
-      if p2 <> p1 then source_comm_one st u p2 (-1))
-    (Dag.pred st.dag v);
+  for i = st.poff.(v) to st.poff.(v + 1) - 1 do
+    let u = Array.unsafe_get st.ptgt i in
+    source_comm_one st u p1 (-1);
+    if p2 <> p1 then source_comm_one st u p2 (-1)
+  done;
   Cost_table.add_work st.table ~step:s1 ~proc:p1 (-Dag.work st.dag v);
   Cost_table.add_work st.table ~step:s2 ~proc:p2 (Dag.work st.dag v);
   st.proc_.(v) <- p2;
   st.step_.(v) <- s2;
-  Array.iter
-    (fun u ->
-      update_fn st u p1 ~p1 ~s1 ~p2 ~s2;
-      if p2 <> p1 then update_fn st u p2 ~p1 ~s1 ~p2 ~s2;
-      source_comm_one st u p1 1;
-      if p2 <> p1 then source_comm_one st u p2 1)
-    (Dag.pred st.dag v);
+  for i = st.poff.(v) to st.poff.(v + 1) - 1 do
+    let u = Array.unsafe_get st.ptgt i in
+    update_fn st u p1 ~p1 ~s1 ~p2 ~s2;
+    if p2 <> p1 then update_fn st u p2 ~p1 ~s1 ~p2 ~s2;
+    source_comm_one st u p1 1;
+    if p2 <> p1 then source_comm_one st u p2 1
+  done;
   source_comm_all st v 1;
   Cost_table.refresh st.table
 
@@ -895,8 +974,7 @@ let check_consistent st =
     let live = ref 0 in
     for q = 0 to st.p - 1 do
       let m = ref no_need and c = ref 0 in
-      Array.iter
-        (fun w ->
+      Dag.iter_succ st.dag u (fun w ->
           if st.proc_.(w) = q then begin
             let s = st.step_.(w) in
             if s < !m then begin
@@ -904,8 +982,7 @@ let check_consistent st =
               c := 1
             end
             else if s = !m then incr c
-          end)
-        (Dag.succ st.dag u);
+          end);
       if st.first_need.(base + q) <> !m then
         failwith "Assignment_state: stale first_need";
       if st.fn_count.(base + q) <> !c then failwith "Assignment_state: stale fn_count";
@@ -913,3 +990,21 @@ let check_consistent st =
     done;
     if st.ev_cnt.(u) <> !live then failwith "Assignment_state: stale ev_cnt"
   done
+
+(* Park the state on the calling domain's pool for reuse by a later
+   {!init}. Restores the pooled-array invariant first: retract any
+   overlay additions and zero the delta scratch (between public calls
+   the undo log and column list are already empty — the loops below are
+   defensive no-ops then), and zero the cost-table cells. Never-released
+   states are simply collected by the GC; releasing is an optimisation,
+   not an obligation. *)
+let release st =
+  undo_additions st;
+  for k = 0 to st.col_steps_len - 1 do
+    st.col_mark.(st.col_steps.(k)) <- false
+  done;
+  st.col_steps_len <- 0;
+  reset_scratch st;
+  Cost_table.clear st.table;
+  let pool = Domain.DLS.get pool_key in
+  if List.length !pool < max_pooled then pool := st :: !pool

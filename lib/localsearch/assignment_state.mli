@@ -17,7 +17,20 @@ type t
 val init : Machine.t -> Schedule.t -> t
 (** Build the state from a schedule (its communication schedule is
     replaced by the lazy one). The number of supersteps is fixed for the
-    lifetime of the state. *)
+    lifetime of the state.
+
+    States draw their scratch arrays from a per-domain pool fed by
+    {!release}, so a search loop that releases its states runs
+    allocation-free across iterations — the point of the pooling is to
+    keep the parallel candidate fan-out off the minor heap (DESIGN.md
+    Section 5f). *)
+
+val release : t -> unit
+(** Return the state's backing arrays to the calling domain's pool for
+    reuse by a later {!init}, and invalidate the state — the caller must
+    not touch it afterwards. Optional: a state that is never released
+    (e.g. because an exception unwound past it) is reclaimed by the GC
+    like any other value. *)
 
 val machine : t -> Machine.t
 val num_steps : t -> int

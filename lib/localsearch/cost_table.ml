@@ -1,6 +1,7 @@
 type t = {
   machine : Machine.t;
   num_steps : int;
+  cap_p : int;  (* allocated row width: every matrix row has this length *)
   work : int array array;
   send : int array array;
   recv : int array array;
@@ -34,6 +35,7 @@ let create machine ~num_steps =
   {
     machine;
     num_steps;
+    cap_p = p;
     work = Array.make_matrix num_steps p 0;
     send = Array.make_matrix num_steps p 0;
     recv = Array.make_matrix num_steps p 0;
@@ -47,6 +49,56 @@ let create machine ~num_steps =
   }
 
 let num_steps t = t.num_steps
+
+(* Zero the used region ([num_steps] rows x [p] columns) and the dirty
+   bookkeeping. Cells outside the used region are zero by construction
+   and stay zero, so a cleared table's backing arrays are entirely zero
+   — the invariant {!recycle} relies on. *)
+let clear t =
+  let p = t.machine.Machine.p in
+  for s = 0 to t.num_steps - 1 do
+    Array.fill t.work.(s) 0 p 0;
+    Array.fill t.send.(s) 0 p 0;
+    Array.fill t.recv.(s) 0 p 0;
+    t.is_dirty.(s) <- false
+  done;
+  t.dirty_len <- 0
+
+(* A fresh table over recycled storage: when the cleared [old] table's
+   arrays are big enough for the new dimensions they are reused (cells
+   are already zero per the {!clear} invariant; only the per-step caches
+   need refilling), otherwise this falls back to a plain {!create}. *)
+let recycle old machine ~num_steps =
+  let p = machine.Machine.p in
+  if
+    Array.length old.work >= num_steps
+    && old.cap_p >= p
+    && Array.length old.step_cost_ >= num_steps
+  then begin
+    let t =
+      {
+        machine;
+        num_steps;
+        cap_p = old.cap_p;
+        work = old.work;
+        send = old.send;
+        recv = old.recv;
+        step_cost_ = old.step_cost_;
+        work_max_ = old.work_max_;
+        comm_max_ = old.comm_max_;
+        total = num_steps * machine.Machine.l;
+        dirty = old.dirty;
+        dirty_len = 0;
+        is_dirty = old.is_dirty;
+      }
+    in
+    Array.fill t.step_cost_ 0 num_steps machine.Machine.l;
+    Array.fill t.work_max_ 0 num_steps 0;
+    Array.fill t.comm_max_ 0 num_steps 0;
+    Array.fill t.is_dirty 0 num_steps false;
+    t
+  end
+  else create machine ~num_steps
 
 let touch t s =
   if not t.is_dirty.(s) then begin

@@ -24,6 +24,21 @@ val create : Machine.t -> num_steps:int -> t
 
 val num_steps : t -> int
 
+val clear : t -> unit
+(** Zero every cell of the used region and drop pending dirtiness,
+    leaving the backing arrays entirely zero so they can be handed to
+    {!recycle}. The table itself is unusable afterwards (its caches are
+    stale); callers clear only as the last operation before pooling. *)
+
+val recycle : t -> Machine.t -> num_steps:int -> t
+(** [recycle old machine ~num_steps] is {!create}[ machine ~num_steps],
+    except the new table reuses [old]'s backing arrays when they are
+    large enough. [old] must have been {!clear}ed and must not be used
+    again. This is the allocation-free path for the per-domain scratch
+    pool (DESIGN.md Section 5f): the multilevel refinement loop creates
+    a table per refinement level, and recycling keeps that out of the
+    minor heap. *)
+
 val add_work : t -> step:int -> proc:int -> int -> unit
 (** Add a (possibly negative) amount of work. *)
 

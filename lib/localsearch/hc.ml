@@ -93,9 +93,9 @@ let improve ?(check = false) ?(budget = Budget.unlimited ()) ?max_moves machine 
        its communication phase). *)
     let mark_after_move v =
       enqueue v;
-      Array.iter enqueue (Dag.pred dag v);
-      Array.iter enqueue (Dag.succ dag v);
-      Array.iter (fun u -> Array.iter enqueue (Dag.succ dag u)) (Dag.pred dag v);
+      Dag.iter_pred dag v enqueue;
+      Dag.iter_succ dag v enqueue;
+      Dag.iter_pred dag v (fun u -> Dag.iter_succ dag u enqueue);
       Assignment_state.iter_last_touched_steps st (fun s ->
           List.iter enqueue residents.(s);
           if s > 0 then List.iter enqueue residents.(s - 1);
@@ -103,7 +103,7 @@ let improve ?(check = false) ?(budget = Budget.unlimited ()) ?max_moves machine 
             List.iter
               (fun w ->
                 enqueue w;
-                Array.iter enqueue (Dag.pred dag w))
+                Dag.iter_pred dag w enqueue)
               residents.(s + 1))
     in
     (* First-improvement scan of one node's neighbourhood: every
@@ -246,6 +246,7 @@ let improve ?(check = false) ?(budget = Budget.unlimited ()) ?max_moves machine 
     Obs.Metrics.counter "hc.verify_sweep_hits" !sweep_hits;
     let result = Assignment_state.snapshot st in
     let final_cost = Bsp_cost.total machine result in
+    Assignment_state.release st;
     ( result,
       {
         moves_applied = !moves_applied;
@@ -315,6 +316,7 @@ let improve_reference ?(check = false) ?(budget = Budget.unlimited ()) ?max_move
     done;
     let result = Assignment_state.snapshot st in
     let final_cost = Bsp_cost.total machine result in
+    Assignment_state.release st;
     ( result,
       {
         moves_applied = !moves_applied;

@@ -15,59 +15,73 @@ type pair = {
   mutable cur : int;
 }
 
+(* Flat [n * p] tables instead of (node, processor)-tuple-keyed
+   hashtables: tuple keys allocate a box per probe and hash it, which in
+   the parallel sweep turns this pre-pass into minor-heap churn. The
+   dense table is at most n * p ints — small at the p <= 16 of the
+   experiments — and doubles as a deterministic emission order. *)
+let no_need = max_int
+
 let required_pairs machine (sched : Schedule.t) =
   let dag = sched.Schedule.dag in
   let n = Dag.n dag in
-  let first_need = Hashtbl.create (2 * n) in
+  let p = machine.Machine.p in
+  let proc = sched.Schedule.proc and step = sched.Schedule.step in
+  (* first_need.(u * p + dst): earliest superstep a successor of u on
+     dst needs the value of u; entries only for dst <> proc.(u). *)
+  let first_need = Array.make (max (n * p) 1) no_need in
   for v = 0 to n - 1 do
-    Array.iter
-      (fun u ->
-        if sched.Schedule.proc.(u) <> sched.Schedule.proc.(v) then begin
-          let key = (u, sched.Schedule.proc.(v)) in
-          match Hashtbl.find_opt first_need key with
-          | Some s when s <= sched.Schedule.step.(v) -> ()
-          | _ -> Hashtbl.replace first_need key sched.Schedule.step.(v)
+    Dag.iter_pred dag v (fun u ->
+        if proc.(u) <> proc.(v) then begin
+          let idx = (u * p) + proc.(v) in
+          if step.(v) < first_need.(idx) then first_need.(idx) <- step.(v)
         end)
-      (Dag.pred dag v)
   done;
   (* Start each pair from the input schedule's direct event when one fits
      the window; otherwise from the lazy position (window end). *)
-  let initial = Hashtbl.create 64 in
+  let initial = Array.make (max (n * p) 1) no_need in
   List.iter
     (fun (e : Schedule.comm_event) ->
-      if e.src = sched.Schedule.proc.(e.node) then begin
-        let key = (e.node, e.dst) in
-        match Hashtbl.find_opt initial key with
-        | Some s when s <= e.step -> ()
-        | _ -> Hashtbl.replace initial key e.step
+      if e.src = proc.(e.node) then begin
+        let idx = (e.node * p) + e.dst in
+        if e.step < initial.(idx) then initial.(idx) <- e.step
       end)
     sched.Schedule.comm;
-  Hashtbl.fold
-    (fun (u, dst) s0 acc ->
-      let src = sched.Schedule.proc.(u) in
-      let lo = sched.Schedule.step.(u) and hi = s0 - 1 in
-      let cur =
-        match Hashtbl.find_opt initial (u, dst) with
-        | Some s when s >= lo && s <= hi -> s
-        | _ -> hi
-      in
-      {
-        node = u;
-        src;
-        dst;
-        vol = Dag.comm dag u * Machine.lambda machine src dst;
-        lo;
-        hi;
-        cur;
-      }
-      :: acc)
-    first_need []
+  (* Emitting in ascending (node, dst) order produces the sorted pair
+     order the scan relies on directly — no sort needed. *)
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    let base = u * p in
+    for dst = p - 1 downto 0 do
+      let s0 = first_need.(base + dst) in
+      if s0 <> no_need then begin
+        let src = proc.(u) in
+        let lo = step.(u) and hi = s0 - 1 in
+        let cur =
+          let s = initial.(base + dst) in
+          if s >= lo && s <= hi then s else hi
+        in
+        acc :=
+          {
+            node = u;
+            src;
+            dst;
+            vol = Dag.comm dag u * Machine.lambda machine src dst;
+            lo;
+            hi;
+            cur;
+          }
+          :: !acc
+      end
+    done
+  done;
+  !acc
 
 let improve ?(budget = Budget.unlimited ()) machine (sched : Schedule.t) =
   let dag = sched.Schedule.dag in
   let num_steps = Schedule.num_supersteps sched in
+  (* required_pairs emits in ascending (node, dst) order already. *)
   let pairs = Array.of_list (required_pairs machine sched) in
-  Array.sort (fun a b -> compare (a.node, a.dst) (b.node, b.dst)) pairs;
   let table = Cost_table.create machine ~num_steps in
   for v = 0 to Dag.n dag - 1 do
     Cost_table.add_work table ~step:sched.Schedule.step.(v)

@@ -37,8 +37,12 @@ let start dag =
   let n = Dag.n dag in
   {
     original = dag;
-    succ = Array.init n (fun v -> Int_set.of_list (Array.to_list (Dag.succ dag v)));
-    pred = Array.init n (fun v -> Int_set.of_list (Array.to_list (Dag.pred dag v)));
+    succ =
+      Array.init n (fun v ->
+          Dag.fold_succ dag v ~init:Int_set.empty (fun s w -> Int_set.add w s));
+    pred =
+      Array.init n (fun v ->
+          Dag.fold_pred dag v ~init:Int_set.empty (fun s u -> Int_set.add u s));
     work = Array.init n (Dag.work dag);
     comm = Array.init n (Dag.comm dag);
     alive_flag = Array.make n true;
@@ -214,24 +218,28 @@ let coarsen_to ?(strategy = Paper_rule) t ~target =
 
 let quotient t =
   let n = Array.length t.alive_flag in
-  let reps = ref [] in
-  for v = n - 1 downto 0 do
-    if t.alive_flag.(v) then reps := v :: !reps
+  (* Dense renumbering via a flat array rather than a hashtable: this
+     runs once per refinement level in the multilevel inner loop. *)
+  let id_of_rep = Array.make (max n 1) (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if t.alive_flag.(v) then begin
+      id_of_rep.(v) <- !count;
+      incr count
+    end
   done;
-  let rep_of_id = Array.of_list !reps in
-  let id_of_rep = Hashtbl.create (Array.length rep_of_id) in
-  Array.iteri (fun i r -> Hashtbl.add id_of_rep r i) rep_of_id;
+  let rep_of_id = Array.make !count 0 in
+  for v = 0 to n - 1 do
+    if t.alive_flag.(v) then rep_of_id.(id_of_rep.(v)) <- v
+  done;
   let edges = ref [] in
-  Array.iter
-    (fun u ->
+  for u = n - 1 downto 0 do
+    if t.alive_flag.(u) then
       Int_set.iter
-        (fun v ->
-          edges := (Hashtbl.find id_of_rep u, Hashtbl.find id_of_rep v) :: !edges)
-        t.succ.(u))
-    rep_of_id;
+        (fun v -> edges := (id_of_rep.(u), id_of_rep.(v)) :: !edges)
+        t.succ.(u)
+  done;
   let work = Array.map (fun r -> t.work.(r)) rep_of_id in
   let comm = Array.map (fun r -> t.comm.(r)) rep_of_id in
-  let dag =
-    Dag.of_edges_unchecked ~n:(Array.length rep_of_id) ~edges:!edges ~work ~comm
-  in
+  let dag = Dag.of_edges_unchecked ~n:!count ~edges:!edges ~work ~comm in
   (dag, rep_of_id)

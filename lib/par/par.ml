@@ -33,11 +33,138 @@ let with_jobs n f =
   Fun.protect ~finally:(fun () -> set_jobs prev) f
 
 (* ------------------------------------------------------------------ *)
+(* Per-domain GC tuning.                                               *)
+
+(* In OCaml 5 a minor collection is a stop-the-world synchronisation of
+   every running domain, so an allocation burst on one worker stalls
+   all of them; with more domains than cores the stalls additionally
+   serialise through the scheduler. A larger per-domain minor heap
+   makes minor collections proportionally rarer, which is the single
+   biggest lever against that pathology. Each domain applies the
+   setting to itself once: workers at spawn, the submitter on its first
+   parallel batch. *)
+
+let default_minor_heap_words = 2 * 1024 * 1024 (* x8 bytes = 16 MiB per domain *)
+
+let minor_heap_words =
+  match Sys.getenv_opt "BSP_MINOR_HEAP" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> default_minor_heap_words)
+  | None -> default_minor_heap_words
+
+let gc_tuned : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let tune_gc () =
+  if not (Domain.DLS.get gc_tuned) then begin
+    Domain.DLS.set gc_tuned true;
+    let g = Gc.get () in
+    if g.Gc.minor_heap_size < minor_heap_words then
+      Gc.set { g with Gc.minor_heap_size = minor_heap_words }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain batch/GC statistics.                                     *)
+
+(* One slot per domain that has ever drained a batch, registered on
+   first use and never removed. Each field is single-writer (its own
+   domain accumulates, once per drain) and read cross-domain only by
+   {!stats}/{!reset_stats} on the submitter, so plain atomics suffice —
+   no lock on the hot path. *)
+
+type slot = {
+  slot_id : int;
+  slot_worker : bool;
+  s_tasks : int Atomic.t;
+  s_batches : int Atomic.t;
+  s_minor_words : float Atomic.t;
+  s_promoted_words : float Atomic.t;
+  s_minor_collections : int Atomic.t;
+  s_major_collections : int Atomic.t;
+}
+
+type domain_stats = {
+  domain_index : int;
+  is_worker : bool;
+  tasks_run : int;
+  batches_drained : int;
+  minor_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let slots_m = Mutex.create ()
+let slots : slot list ref = ref []
+let slot_key : slot option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* Tasks running on a pool worker must not submit sub-batches (their
+   submitter could otherwise starve the pool); they run nested fan-out
+   inline instead. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let my_slot () =
+  match Domain.DLS.get slot_key with
+  | Some s -> s
+  | None ->
+    Mutex.lock slots_m;
+    let s =
+      {
+        slot_id = List.length !slots;
+        slot_worker = Domain.DLS.get in_worker;
+        s_tasks = Atomic.make 0;
+        s_batches = Atomic.make 0;
+        s_minor_words = Atomic.make 0.0;
+        s_promoted_words = Atomic.make 0.0;
+        s_minor_collections = Atomic.make 0;
+        s_major_collections = Atomic.make 0;
+      }
+    in
+    slots := s :: !slots;
+    Mutex.unlock slots_m;
+    Domain.DLS.set slot_key (Some s);
+    s
+
+let reset_stats () =
+  Mutex.lock slots_m;
+  List.iter
+    (fun s ->
+      Atomic.set s.s_tasks 0;
+      Atomic.set s.s_batches 0;
+      Atomic.set s.s_minor_words 0.0;
+      Atomic.set s.s_promoted_words 0.0;
+      Atomic.set s.s_minor_collections 0;
+      Atomic.set s.s_major_collections 0)
+    !slots;
+  Mutex.unlock slots_m
+
+let stats () =
+  Mutex.lock slots_m;
+  let snap = !slots in
+  Mutex.unlock slots_m;
+  List.sort (fun a b -> compare a.domain_index b.domain_index)
+  @@ List.map
+       (fun s ->
+         {
+           domain_index = s.slot_id;
+           is_worker = s.slot_worker;
+           tasks_run = Atomic.get s.s_tasks;
+           batches_drained = Atomic.get s.s_batches;
+           minor_words = Atomic.get s.s_minor_words;
+           promoted_words = Atomic.get s.s_promoted_words;
+           minor_collections = Atomic.get s.s_minor_collections;
+           major_collections = Atomic.get s.s_major_collections;
+         })
+       snap
+
+(* ------------------------------------------------------------------ *)
 (* Pool internals.                                                     *)
 
 type batch = {
   run : int -> unit;  (* executes task [i]; must not raise *)
   count : int;
+  chunk : int;  (* indices claimed per fetch-and-add *)
   next : int Atomic.t;  (* next unclaimed task index *)
   remaining : int Atomic.t;  (* tasks not yet completed *)
   done_m : Mutex.t;
@@ -53,11 +180,6 @@ let worker_handles : unit Domain.t list ref = ref []
 let worker_count = ref 0
 let exit_hook_registered = ref false
 
-(* Tasks running on a pool worker must not submit sub-batches (their
-   submitter could otherwise starve the pool); they run nested fan-out
-   inline instead. *)
-let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
-
 let mark_done b =
   Mutex.lock b.done_m;
   b.all_done <- true;
@@ -65,17 +187,44 @@ let mark_done b =
   Mutex.unlock b.done_m
 
 (* Claim and execute tasks until the batch's index counter is
-   exhausted. Whoever completes the last task signals the submitter. *)
+   exhausted, [chunk] indices per claim so the claim overhead (and the
+   cache-line ping-pong on [next]) amortises over fine-grained batches.
+   Whoever completes the last task signals the submitter. Each drain
+   also accumulates the domain's task count and GC deltas into its
+   stats slot. *)
 let drain b =
-  let rec go () =
-    let i = Atomic.fetch_and_add b.next 1 in
-    if i < b.count then begin
-      b.run i;
-      if Atomic.fetch_and_add b.remaining (-1) = 1 then mark_done b;
-      go ()
+  let t0 = Gc.quick_stat () in
+  let ran = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let i0 = Atomic.fetch_and_add b.next b.chunk in
+    if i0 >= b.count then continue_ := false
+    else begin
+      let hi = min b.count (i0 + b.chunk) in
+      for i = i0 to hi - 1 do
+        b.run i
+      done;
+      let k = hi - i0 in
+      ran := !ran + k;
+      if Atomic.fetch_and_add b.remaining (-k) = k then mark_done b
     end
-  in
-  go ()
+  done;
+  if !ran > 0 then begin
+    let t1 = Gc.quick_stat () in
+    let s = my_slot () in
+    Atomic.set s.s_tasks (Atomic.get s.s_tasks + !ran);
+    Atomic.set s.s_batches (Atomic.get s.s_batches + 1);
+    Atomic.set s.s_minor_words
+      (Atomic.get s.s_minor_words +. (t1.Gc.minor_words -. t0.Gc.minor_words));
+    Atomic.set s.s_promoted_words
+      (Atomic.get s.s_promoted_words +. (t1.Gc.promoted_words -. t0.Gc.promoted_words));
+    Atomic.set s.s_minor_collections
+      (Atomic.get s.s_minor_collections
+      + (t1.Gc.minor_collections - t0.Gc.minor_collections));
+    Atomic.set s.s_major_collections
+      (Atomic.get s.s_major_collections
+      + (t1.Gc.major_collections - t0.Gc.major_collections))
+  end
 
 (* Once a batch has no unclaimed tasks left, unlink it so workers go
    back to waiting instead of spinning on it. Every drainer calls this;
@@ -89,6 +238,7 @@ let drop_if_exhausted b =
 
 let worker () =
   Domain.DLS.set in_worker true;
+  tune_gc ();
   let rec loop () =
     Mutex.lock pool_m;
     let rec await () =
@@ -139,21 +289,25 @@ let ensure_workers target =
 
 type 'b cell = Pending | Done of 'b | Raised of exn * Printexc.raw_backtrace
 
-let run_batch (tasks : (unit -> 'b) array) : 'b array =
-  let n = Array.length tasks in
+(* One function applied to an input array, instead of an array of
+   thunks: submitting a batch allocates no per-task closure, and the
+   shared [run] closure captures everything the tasks need once. *)
+let run_batch (f : 'a -> 'b) (inputs : 'a array) : 'b array =
+  let n = Array.length inputs in
   let j = jobs () in
   if j <= 1 || n <= 1 || Domain.DLS.get in_worker then
     (* The sequential path is byte-for-byte the pre-parallel behaviour:
        tasks run in order on this domain against the ambient registry,
        no children, no merge. *)
-    Array.map (fun f -> f ()) tasks
+    Array.map f inputs
   else begin
+    tune_gc ();
     let parent = Obs.Metrics.current () in
     let children = Array.init n (fun _ -> Option.map Obs.Metrics.create_child parent) in
     let results = Array.make n Pending in
     let run i =
       let exec () =
-        try Done (tasks.(i) ()) with e -> Raised (e, Printexc.get_raw_backtrace ())
+        try Done (f inputs.(i)) with e -> Raised (e, Printexc.get_raw_backtrace ())
       in
       let r =
         match children.(i) with
@@ -166,6 +320,10 @@ let run_batch (tasks : (unit -> 'b) array) : 'b array =
       {
         run;
         count = n;
+        (* A chunk per claim, sized so each of the [j] drainers makes a
+           handful of claims per batch; coarse batches (n <= 4 j) keep
+           chunk = 1 so no drainer hoards tasks another could run. *)
+        chunk = max 1 (n / (4 * j));
         next = Atomic.make 0;
         remaining = Atomic.make n;
         done_m = Mutex.create ();
@@ -205,8 +363,7 @@ let run_batch (tasks : (unit -> 'b) array) : 'b array =
 (* ------------------------------------------------------------------ *)
 (* Public combinators.                                                 *)
 
-let map f xs =
-  Array.to_list (run_batch (Array.of_list (List.map (fun x () -> f x) xs)))
+let map f xs = Array.to_list (run_batch f (Array.of_list xs))
 
 let map_reduce ~map:f ~reduce ~init xs = List.fold_left reduce init (map f xs)
 

@@ -60,6 +60,47 @@ val with_jobs : int -> (unit -> 'a) -> 'a
     (exception-safe restore). Used by the bench harness to time the
     same sweep at [jobs = 1] and [jobs = N] in one process. *)
 
+val minor_heap_words : int
+(** The per-domain minor heap size (in words) applied to every domain
+    that participates in a parallel batch: the value of the
+    [BSP_MINOR_HEAP] environment variable when it parses as a positive
+    integer, else 2M words (16 MiB). In OCaml 5 a minor collection
+    stops {e all} domains, so allocation-heavy tasks on a default-sized
+    minor heap (256k words) serialise the pool through stop-the-world
+    pauses; a larger nursery makes them proportionally rarer. Applied
+    by each domain to itself — workers at spawn, the submitter on its
+    first parallel batch — and never shrinks a larger configured
+    heap. *)
+
+(** {1 Per-domain statistics}
+
+    Every domain that drains batch work accumulates, per {!stats}
+    window: how many tasks and batches it ran, and the GC activity
+    ([Gc.quick_stat] deltas around each drain) those tasks caused. This
+    is the measurement layer behind the bench harness's parallel block
+    — minor-GC-bound parallelism shows up as high [minor_collections]
+    with low speedup, granularity problems as skewed [tasks_run]. *)
+
+type domain_stats = {
+  domain_index : int;  (** registration order; the submitter is usually 0 *)
+  is_worker : bool;  (** false for domains that submit batches *)
+  tasks_run : int;
+  batches_drained : int;  (** drain sessions with >= 1 task run *)
+  minor_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val reset_stats : unit -> unit
+(** Zero every domain's accumulators (typically right before a timed
+    section). *)
+
+val stats : unit -> domain_stats list
+(** Snapshot of every participating domain's accumulators since the
+    last {!reset_stats}, ordered by [domain_index]. Domains that never
+    drained a task are absent. *)
+
 val map : ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] computes [List.map f xs], evaluating the elements in
     parallel on the pool. Results are returned in submission order. *)

@@ -19,25 +19,39 @@ let trivial dag =
   let n = Dag.n dag in
   { dag; proc = Array.make n 0; step = Array.make n 0; comm = [] }
 
+(* first_need.(u * p + dst) is the earliest superstep the destination
+   processor dst needs the value of u. A flat table over the processors
+   actually used (p = 1 + max proc) replaces the historical
+   (node, processor)-tuple-keyed hashtable: tuple keys allocate a box
+   per probe, and this runs once per candidate schedule inside the
+   parallel sweeps. Emission in ascending (node, dst) order also makes
+   the event list deterministic instead of hash-ordered. *)
 let lazy_comm dag ~proc ~step =
   let n = Dag.n dag in
-  (* first_need maps (node, destination processor) to the earliest
-     superstep a successor of the node needs its value there. *)
-  let first_need = Hashtbl.create (2 * n) in
-  for v = 0 to n - 1 do
-    Array.iter
-      (fun u ->
-        if proc.(u) <> proc.(v) then begin
-          let key = (u, proc.(v)) in
-          match Hashtbl.find_opt first_need key with
-          | Some s when s <= step.(v) -> ()
-          | _ -> Hashtbl.replace first_need key step.(v)
-        end)
-      (Dag.pred dag v)
-  done;
-  Hashtbl.fold
-    (fun (u, dst) s acc -> { node = u; src = proc.(u); dst; step = s - 1 } :: acc)
-    first_need []
+  if n = 0 then []
+  else begin
+    let p = ref 1 in
+    Array.iter (fun q -> if q + 1 > !p then p := q + 1) proc;
+    let p = !p in
+    let no_need = max_int in
+    let first_need = Array.make (n * p) no_need in
+    for v = 0 to n - 1 do
+      Dag.iter_pred dag v (fun u ->
+          if proc.(u) <> proc.(v) then begin
+            let idx = (u * p) + proc.(v) in
+            if step.(v) < first_need.(idx) then first_need.(idx) <- step.(v)
+          end)
+    done;
+    let acc = ref [] in
+    for u = n - 1 downto 0 do
+      let base = u * p in
+      for dst = p - 1 downto 0 do
+        let s = first_need.(base + dst) in
+        if s <> no_need then acc := { node = u; src = proc.(u); dst; step = s - 1 } :: !acc
+      done
+    done;
+    !acc
+  end
 
 let of_assignment dag ~proc ~step =
   {

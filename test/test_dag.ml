@@ -155,6 +155,23 @@ let test_hyperdag_excess_weight_lines_rejected () =
     check_bool "names the surplus" true
       (msg = "Hyperdag_io: 2 lines after the 4 declared weight lines")
 
+(* Since the CSR refactor the topological order and rank are computed
+   eagerly at construction, so warm_caches has nothing left to do: it
+   must not change anything observable, and a freshly built DAG is
+   safe to read from another domain without any warm-up call. *)
+let test_warm_caches_noop () =
+  let g = Test_util.diamond () in
+  let topo_before = Array.copy (Dag.topological_order g) in
+  let rank_before = Array.copy (Dag.topological_rank g) in
+  let edges_before = Dag.edges g in
+  Dag.warm_caches g;
+  Alcotest.(check (array int)) "topo unchanged" topo_before (Dag.topological_order g);
+  Alcotest.(check (array int)) "rank unchanged" rank_before (Dag.topological_rank g);
+  Alcotest.(check (list (pair int int))) "edges unchanged" edges_before (Dag.edges g);
+  let c = Test_util.chain 6 in
+  let d = Domain.spawn (fun () -> (Dag.topological_order c).(5)) in
+  check "eager topo readable cross-domain" 5 (Domain.join d)
+
 let test_is_acyclic_edges () =
   check_bool "acyclic" true (Dag.is_acyclic_edges ~n:3 [ (0, 1); (1, 2) ]);
   check_bool "cyclic" false (Dag.is_acyclic_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ])
@@ -235,6 +252,93 @@ let prop_roundtrip_mangled =
            (fun v -> Dag.work g v = Dag.work g2 v && Dag.comm g v = Dag.comm g2 v)
            (Array.init (Dag.n g) Fun.id))
 
+(* Generator of raw (n, edge list) inputs for the CSR-vs-model property:
+   edges go low id -> high id (acyclic by construction), arrive in a
+   shuffled order, and a fraction are duplicated so the dedup path is
+   exercised. *)
+let arb_raw_edges =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* n = int_range 1 20 in
+    let* dense = bool in
+    let rng = Rng.create seed in
+    let p = if dense then 0.35 else 0.12 in
+    let edges = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Rng.bernoulli rng p then begin
+          edges := (u, v) :: !edges;
+          if Rng.bernoulli rng 0.25 then edges := (u, v) :: !edges
+        end
+      done
+    done;
+    let shuffled =
+      List.map (fun e -> (Rng.int rng 1_000_000, e)) !edges
+      |> List.sort compare |> List.map snd
+    in
+    return (n, shuffled))
+
+(* Property: the CSR representation built by of_edges is semantically
+   identical to a naive adjacency model of the same edge list — edge
+   count after dedup, sorted succ/pred sets, degrees, the zero-alloc
+   iterators, the raw offset/target arrays, has_edge, and topological
+   order validity all agree. *)
+let prop_csr_matches_model =
+  Test_util.qtest ~count:200 "CSR structure matches edge-list model" arb_raw_edges
+    (fun (n, edges) ->
+      let g = Dag.of_edges ~n ~edges ~work:(Array.make n 1) ~comm:(Array.make n 1) in
+      let dedup = List.sort_uniq compare edges in
+      let succ_ref = Array.make n [] and pred_ref = Array.make n [] in
+      List.iter
+        (fun (u, v) ->
+          succ_ref.(u) <- v :: succ_ref.(u);
+          pred_ref.(v) <- u :: pred_ref.(v))
+        (List.rev dedup);
+      Array.iteri (fun v l -> pred_ref.(v) <- List.sort compare l) pred_ref;
+      let ok = ref (Dag.num_edges g = List.length dedup) in
+      let soff = Dag.succ_offsets g and stgt = Dag.succ_targets g in
+      let poff = Dag.pred_offsets g and ptgt = Dag.pred_targets g in
+      ok :=
+        !ok
+        && Array.length soff = n + 1
+        && Array.length poff = n + 1
+        && soff.(0) = 0
+        && poff.(0) = 0
+        && soff.(n) = Array.length stgt
+        && poff.(n) = Array.length ptgt
+        && Array.length stgt = Dag.num_edges g
+        && Array.length ptgt = Dag.num_edges g;
+      for v = 0 to n - 1 do
+        (* Allocating slices vs the reference model (sorted ascending). *)
+        ok := !ok && Array.to_list (Dag.succ g v) = succ_ref.(v);
+        ok := !ok && Array.to_list (Dag.pred g v) = pred_ref.(v);
+        ok := !ok && Dag.out_degree g v = List.length succ_ref.(v);
+        ok := !ok && Dag.in_degree g v = List.length pred_ref.(v);
+        (* Zero-allocation iterators visit the same elements in order. *)
+        let via_iter = ref [] in
+        Dag.iter_succ g v (fun w -> via_iter := w :: !via_iter);
+        ok := !ok && List.rev !via_iter = succ_ref.(v);
+        let via_fold = Dag.fold_pred g v ~init:[] (fun acc u -> u :: acc) in
+        ok := !ok && List.rev via_fold = pred_ref.(v);
+        (* Raw CSR segments are the same slices. *)
+        ok :=
+          !ok
+          && Array.to_list (Array.sub stgt soff.(v) (soff.(v + 1) - soff.(v)))
+             = succ_ref.(v)
+          && Array.to_list (Array.sub ptgt poff.(v) (poff.(v + 1) - poff.(v)))
+             = pred_ref.(v)
+      done;
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          ok := !ok && Dag.has_edge g u v = List.mem (u, v) dedup
+        done
+      done;
+      let rank = Dag.topological_rank g in
+      let order = Dag.topological_order g in
+      ok := !ok && Array.for_all (fun v -> order.(rank.(v)) = v) (Array.init n Fun.id);
+      List.iter (fun (u, v) -> ok := !ok && rank.(u) < rank.(v)) dedup;
+      !ok)
+
 let () =
   Alcotest.run "dag"
     [
@@ -259,7 +363,14 @@ let () =
           Alcotest.test_case "hyperdag excess weight lines" `Quick
             test_hyperdag_excess_weight_lines_rejected;
           Alcotest.test_case "is_acyclic_edges" `Quick test_is_acyclic_edges;
+          Alcotest.test_case "warm_caches is a no-op" `Quick test_warm_caches_noop;
         ] );
       ( "property",
-        [ prop_topo_valid; prop_has_path; prop_roundtrip; prop_roundtrip_mangled ] );
+        [
+          prop_topo_valid;
+          prop_has_path;
+          prop_roundtrip;
+          prop_roundtrip_mangled;
+          prop_csr_matches_model;
+        ] );
     ]
