@@ -986,6 +986,75 @@ let localsearch () =
           d.Par.minor_collections d.Par.major_collections)
       par_domains
   end;
+  (* Node replication on NUMA (DESIGN.md Section 5g): a single
+     broadcaster (w=1, c=8) on p0 feeding one heavy consumer (w=300) per
+     processor of an 8-leaf delta=4 NUMA tree. Every single-node move
+     doubles some processor's superstep-1 work (+300) for a comm saving
+     of at most g * 584, per move at most 128 — so the move engine is
+     stuck at the start schedule — while replicating the broadcaster
+     onto the far 4-cluster cuts the h-relation from 584 to 72. The
+     replication phase must find that strictly improving replica, and
+     the replicating pipeline must stay bit-identical across jobs
+     counts. *)
+  let rep_machine = Machine.numa_tree ~p:8 ~g:1 ~l:5 ~delta:4 in
+  let rep_dag =
+    let n = 9 in
+    Dag.of_edges ~n
+      ~edges:(List.init 8 (fun q -> (0, q + 1)))
+      ~work:(Array.init n (fun v -> if v = 0 then 1 else 300))
+      ~comm:(Array.init n (fun v -> if v = 0 then 8 else 1))
+  in
+  let rep_start =
+    Schedule.of_assignment rep_dag
+      ~proc:(Array.init 9 (fun v -> if v = 0 then 0 else v - 1))
+      ~step:(Array.init 9 (fun v -> if v = 0 then 0 else 1))
+  in
+  let _, st_plain = Hc.improve ~budget:(Budget.steps evals) rep_machine rep_start in
+  let rep_sched, st_rep =
+    Hc.improve ~budget:(Budget.steps evals) ~replicate:true rep_machine rep_start
+  in
+  if not (Validity.is_valid rep_machine rep_sched) then
+    failwith "replication: HC produced an invalid replicated schedule";
+  (match
+     Profile.reconcile
+       (Profile.compute rep_machine rep_sched)
+       (Bsp_cost.breakdown rep_machine rep_sched)
+   with
+  | Ok () -> ()
+  | Error msg -> failwith ("replication: profile does not reconcile: " ^ msg));
+  if st_rep.Hc.final_cost >= st_plain.Hc.final_cost then
+    failwith
+      (Printf.sprintf
+         "replication failed to strictly improve the NUMA broadcast instance (%d vs %d)"
+         st_rep.Hc.final_cost st_plain.Hc.final_cost);
+  (* The full pipeline with the replication stage on, once per jobs
+     count of the sweep: deterministic limits, so costs must be equal. *)
+  let rep_limits = { ml_limits with Pipeline.replicate = true } in
+  let rep_pipe_costs =
+    List.map
+      (fun j ->
+        ( j,
+          Par.with_jobs j (fun () ->
+              Bsp_cost.total rep_machine
+                (fst (Pipeline.run ~limits:rep_limits rep_machine rep_dag))) ))
+      par_sweep_jobs
+  in
+  let rep_pipe_cost = snd (List.hd rep_pipe_costs) in
+  List.iter
+    (fun (j, c) ->
+      if c <> rep_pipe_cost then
+        failwith
+          (Printf.sprintf
+             "parallel determinism violated: replicating pipeline cost %d at jobs=%d \
+              but %d at jobs=%d"
+             rep_pipe_cost (fst (List.hd rep_pipe_costs)) c j))
+    rep_pipe_costs;
+  Printf.printf
+    "replication on NUMA (broadcast n=%d, P=8 delta=4): HC %d -> with replicas %d (%d \
+     added), pipeline %d (identical at jobs %s)\n"
+    (Dag.n rep_dag) st_plain.Hc.final_cost st_rep.Hc.final_cost st_rep.Hc.replicas_added
+    rep_pipe_cost
+    (String.concat "," (List.map (fun (j, _) -> string_of_int j) rep_pipe_costs));
   (* "ml_sweep_seconds_jobs4" keeps its historical name but records the
      highest jobs count of the sweep (the "jobs" field next to it). *)
   let sweep_json =
@@ -1034,6 +1103,14 @@ let localsearch () =
   "speedup_evals_per_sec": %.2f,
   "pipeline_seconds": %.4f,
   "pipeline_final_cost": %d,
+  "replication": {
+    "instance_nodes": %d,
+    "hc_cost": %d,
+    "hc_replicated_cost": %d,
+    "replicas_added": %d,
+    "pipeline_cost": %d,
+    "jobs_costs_equal": true
+  },
   "parallel": {
     "jobs": %d,
     "cores": %d,
@@ -1057,7 +1134,9 @@ let localsearch () =
     (Datasets.scale_name !scale) !seed !jobs n evals reps st_ref.Hc.moves_evaluated
     st_ref.Hc.moves_applied t_ref rate_ref st_ref.Hc.final_cost st_wl.Hc.moves_evaluated
     st_wl.Hc.moves_applied t_wl rate_wl st_wl.Hc.final_cost speedup t_pipe
-    stage.Pipeline.final_cost par_jobs cores Par.minor_heap_words (Dag.n ml_dag)
+    stage.Pipeline.final_cost (Dag.n rep_dag) st_plain.Hc.final_cost
+    st_rep.Hc.final_cost st_rep.Hc.replicas_added rep_pipe_cost par_jobs cores
+    Par.minor_heap_words (Dag.n ml_dag)
     (List.length ml_ratios) t_sweep_j1 t_sweep_jn sweep_speedup sweep_cost_j1 sweep_json
     domains_json;
   close_out oc;
@@ -1155,6 +1234,8 @@ let guarded_metrics =
     ([ "reference"; "final_cost" ], `Cost);
     ([ "delta_worklist"; "final_cost" ], `Cost);
     ([ "pipeline_final_cost" ], `Cost);
+    ([ "replication"; "hc_replicated_cost" ], `Cost);
+    ([ "replication"; "pipeline_cost" ], `Cost);
     ([ "parallel"; "ml_sweep_final_cost" ], `Cost);
     ([ "reference"; "evals_per_sec" ], `Perf);
     ([ "delta_worklist"; "evals_per_sec" ], `Perf);

@@ -21,7 +21,7 @@ let algorithms =
   ]
 
 let run input p g l delta machine_file algorithm seconds output seed quiet show metrics
-    trace profile chrome_trace jobs =
+    trace profile chrome_trace jobs replicate =
   Par.set_jobs jobs;
   let registry =
     if metrics <> None || trace then begin
@@ -56,7 +56,9 @@ let run input p g l delta machine_file algorithm seconds output seed quiet show 
   let schedule =
     Obs.Metrics.with_span ("scheduler:" ^ algorithm) (fun () ->
         match List.assoc algorithm algorithms with
-        | `Pipeline -> fst (Pipeline.run ~limits machine dag)
+        | `Pipeline ->
+          (* the pipeline runs replication as its own final stage *)
+          fst (Pipeline.run ~limits:{ limits with Pipeline.replicate } machine dag)
         | `Multilevel -> Pipeline.run_multilevel ~limits machine dag
         | `Cilk -> Cilk.schedule dag ~p ~seed
         | `Hdagg -> Hdagg.schedule machine dag
@@ -65,6 +67,20 @@ let run input p g l delta machine_file algorithm seconds output seed quiet show 
         | `Bspg -> Bspg.schedule machine dag
         | `Source -> Source_heuristic.schedule machine dag
         | `Trivial -> Schedule.trivial dag)
+  in
+  (* For every other algorithm, graft replicas onto the finished schedule
+     as a post-pass and keep the cheaper variant (replication re-lazifies
+     the communication schedule, so it is not unconditionally better). *)
+  let schedule =
+    if replicate && algorithm <> "pipeline" then begin
+      let cand =
+        Obs.Metrics.with_span "scheduler:replicate" (fun () ->
+            Hc.replicate_schedule machine schedule)
+      in
+      if Bsp_cost.total machine cand < Bsp_cost.total machine schedule then cand
+      else schedule
+    end
+    else schedule
   in
   (match Validity.check machine schedule with
    | Ok () -> ()
@@ -213,12 +229,23 @@ let jobs =
            domains (default from \\$BSP_JOBS, else 1). Results are bit-identical for \
            every $(docv); only wall-clock time changes.")
 
+let replicate =
+  Arg.(
+    value & flag
+    & info [ "replicate" ]
+        ~doc:
+          "Allow node replication: after the chosen algorithm finishes, greedily place \
+           extra copies of nodes on processors whose incoming traffic they eliminate, \
+           and keep the replicated schedule when it is strictly cheaper. Off by \
+           default; without this flag all results are bit-identical to the \
+           replication-free scheduler.")
+
 let cmd =
   let doc = "schedule a computational DAG in the BSP+NUMA model" in
   Cmd.v
     (Cmd.info "scheduler" ~doc)
     Term.(const run $ input $ p $ g $ l $ delta $ machine_file $ algorithm_name $ seconds
           $ output $ seed $ quiet $ show $ metrics $ trace $ profile $ chrome_trace
-          $ jobs)
+          $ jobs $ replicate)
 
 let () = exit (Cmd.eval cmd)

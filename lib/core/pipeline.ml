@@ -13,6 +13,7 @@ type limits = {
   use_ilp_init : bool;
   stage_seconds : float option;
   hc_check : bool;
+  replicate : bool;
 }
 
 let default_limits =
@@ -31,6 +32,7 @@ let default_limits =
     use_ilp_init = false;
     stage_seconds = Some 5.0;
     hc_check = false;
+    replicate = false;
   }
 
 let fast_limits =
@@ -205,6 +207,25 @@ let run_stages ~limits ~with_trivial_init machine dag =
       best := cs_sched;
       best_cost := cost machine cs_sched
     end
+  end;
+  (* Node replication as the last improvement stage (DESIGN.md §5g):
+     every earlier stage reasons about single placements, so replicas are
+     grafted onto the finished schedule and kept only when they beat it.
+     [replicate_schedule] re-lazifies the communication schedule, which
+     can lose a hand-optimised event placement — hence the comparison
+     rather than unconditional adoption. *)
+  if limits.replicate then begin
+    let rep_budget = stage_budget limits limits.hc_evals in
+    let rep_sched =
+      Obs.Metrics.with_span ~budget:rep_budget "replicate" (fun () ->
+          Hc.replicate_schedule ~check:limits.hc_check ~budget:rep_budget machine !best)
+    in
+    if cost machine rep_sched < !best_cost then begin
+      best := rep_sched;
+      best_cost := cost machine rep_sched
+    end;
+    Obs.Metrics.series_point "pipeline.best_cost" ~label:"replicate"
+      (float_of_int !best_cost)
   end;
   Obs.Metrics.series_point "pipeline.best_cost" ~label:"final"
     (float_of_int !best_cost);

@@ -41,6 +41,11 @@ type limits = {
           (see {!Hc.improve}); off by default so release and benchmark
           runs keep rejected candidate moves read-only — the test suite
           turns it on *)
+  replicate : bool;
+      (** run {!Hc.replicate_schedule} as a final stage and keep its
+          result when strictly cheaper (DESIGN.md Section 5g); off by
+          default, so baseline costs stay bit-identical. The CLI's
+          [--replicate] flag turns it on. *)
 }
 
 val default_limits : limits

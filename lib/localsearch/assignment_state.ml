@@ -38,6 +38,20 @@ type t = {
      the number of entries the producer-side loop of delta_cost must
      visit; lets it skip event-free nodes and stop at the last entry. *)
   ev_cnt : int array;
+  (* Replication state (DESIGN.md §5g). placed_.(v * p + q): some
+     placement — primary or replica — of v sits on processor q.
+     reps_.(v): the extra replica processors of v, sorted ascending;
+     every replica shares the primary's superstep, which is what keeps
+     first_need/fn_count meaningful per placement (all placements of a
+     node attain the same step). rep_total counts replicas across nodes
+     and gates every replica branch, so the replica-free fast path pays
+     one integer compare at most; rep_nodes remembers nodes that ever
+     held a replica so release can restore the pooled all-false/all-[]
+     invariant in O(n + replicas). *)
+  placed_ : bool array;
+  reps_ : int list array;
+  mutable rep_total : int;
+  mutable rep_nodes : int list;
   (* Read-only delta-evaluation scratch: candidate adjustments to the
      cost-table cells, indexed [step * p + proc], zero outside the cells
      recorded in touched_cells (kept duplicate-free via cell_mark).
@@ -112,15 +126,21 @@ let recompute_first_need st u =
     st.first_need.(base + q) <- no_need;
     st.fn_count.(base + q) <- 0
   done;
-  for i = st.soff.(u) to st.soff.(u + 1) - 1 do
-    let v = Array.unsafe_get st.stgt i in
-    let idx = base + st.proc_.(v) in
-    let s = st.step_.(v) in
+  (* Every placement of a successor is a consumer: the primary on
+     proc_.(v) and each replica on its own processor, all at step_.(v). *)
+  let consume idx s =
     if s < st.first_need.(idx) then begin
       st.first_need.(idx) <- s;
       st.fn_count.(idx) <- 1
     end
     else if s = st.first_need.(idx) then st.fn_count.(idx) <- st.fn_count.(idx) + 1
+  in
+  for i = st.soff.(u) to st.soff.(u + 1) - 1 do
+    let v = Array.unsafe_get st.stgt i in
+    let s = st.step_.(v) in
+    consume (base + st.proc_.(v)) s;
+    if st.rep_total > 0 then
+      List.iter (fun r -> consume (base + r) s) st.reps_.(v)
   done;
   let cnt = ref 0 in
   for q = 0 to st.p - 1 do
@@ -169,6 +189,106 @@ let source_comm_all st u sign =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Replication-aware bookkeeping (DESIGN.md Section 5g). With
+   rep_total = 0 these coincide exactly with the plain helpers above;
+   the single-node move path keeps the plain versions (moves are
+   rejected once replicas exist), while [init] and the replication
+   moves route through these. *)
+
+(* Nearest placement of u to destination q by lambda: the primary, then
+   the replicas in ascending processor order, improving on strictly
+   shorter distance only — a deterministic tie-break that favours the
+   primary and then the lowest replica processor. *)
+let nearest_src st u q =
+  let src = ref st.proc_.(u) in
+  if st.rep_total > 0 then begin
+    let lam = st.machine_.Machine.lambda in
+    let best = ref lam.(!src).(q) in
+    List.iter
+      (fun r ->
+        let d = lam.(r).(q) in
+        if d < !best then begin
+          best := d;
+          src := r
+        end)
+      st.reps_.(u)
+  end;
+  !src
+
+(* [nearest_src] as if the placement of u on [excl] did not exist —
+   i.e. the source after that replica is dropped (the scan order and
+   tie-break are unchanged, so this is exact). The primary is never
+   excluded. *)
+let nearest_src_without st u q ~excl =
+  let lam = st.machine_.Machine.lambda in
+  let src = ref st.proc_.(u) in
+  let best = ref lam.(!src).(q) in
+  List.iter
+    (fun r ->
+      if r <> excl then begin
+        let d = lam.(r).(q) in
+        if d < !best then begin
+          best := d;
+          src := r
+        end
+      end)
+    st.reps_.(u);
+  !src
+
+(* Source of u's event towards q once a replica of u lands on [cand]:
+   the candidate takes over on a strictly shorter lambda, or on a tie
+   that [nearest_src]'s scan order (primary first, then ascending
+   replica processors) resolves in its favour. Exactness here is what
+   keeps delta_cost_replicate equal to the applied cost change. *)
+let src_with_replica st u ~cand q ~cur =
+  let lam = st.machine_.Machine.lambda in
+  let dc = lam.(cand).(q) and dcur = lam.(cur).(q) in
+  if dc < dcur || (dc = dcur && cur <> st.proc_.(u) && cand < cur) then cand
+  else cur
+
+(* Add/remove the lazy event of producer u towards q in the replicated
+   model: an event exists iff no placement of u sits on q and some
+   consumer placement there needs the value, and it ships from the
+   nearest placement. *)
+let source_comm_one_r st u q sign =
+  if not st.placed_.((u * st.p) + q) then begin
+    let fn = st.first_need.((u * st.p) + q) in
+    if fn <> no_need then begin
+      let src = nearest_src st u q in
+      let vol = sign * Dag.comm st.dag u * Machine.lambda st.machine_ src q in
+      Cost_table.add_send st.table ~step:(fn - 1) ~proc:src vol;
+      Cost_table.add_recv st.table ~step:(fn - 1) ~proc:q vol
+    end
+  end
+
+let source_comm_all_r st u sign =
+  for q = 0 to st.p - 1 do
+    source_comm_one_r st u q sign
+  done
+
+(* Placement-aware [rescan_fn]: a successor consumes on q when any of
+   its placements sits there. *)
+let rescan_fn_r st u q =
+  let idx = (u * st.p) + q in
+  let old_fn = st.first_need.(idx) in
+  let m = ref no_need and c = ref 0 in
+  for i = st.soff.(u) to st.soff.(u + 1) - 1 do
+    let w = Array.unsafe_get st.stgt i in
+    if st.placed_.((w * st.p) + q) then begin
+      let s = st.step_.(w) in
+      if s < !m then begin
+        m := s;
+        c := 1
+      end
+      else if s = !m then incr c
+    end
+  done;
+  st.first_need.(idx) <- !m;
+  st.fn_count.(idx) <- !c;
+  if old_fn = no_need && !m <> no_need then st.ev_cnt.(u) <- st.ev_cnt.(u) + 1
+  else if old_fn <> no_need && !m = no_need then st.ev_cnt.(u) <- st.ev_cnt.(u) - 1
+
+(* ------------------------------------------------------------------ *)
 (* Per-domain scratch pooling (DESIGN.md Section 5f).
 
    [init] allocates ~25 scratch arrays plus the cost-table matrices;
@@ -181,8 +301,9 @@ let source_comm_all st u sign =
 
    Invariant for pooled arrays: the delta/overlay scratch (d_work,
    d_send, d_recv, cell_mark, step_touched, base_mark, col_mark) is
-   entirely zero/false — [release] restores this via [reset_scratch],
-   and freshly allocated arrays start that way. All other reused arrays
+   entirely zero/false and the replication arrays are all-false
+   (placed_) / all-[] (reps_) — [release] restores this, and freshly
+   allocated arrays start that way. All other reused arrays
    are fully overwritten before being read. *)
 
 let pool_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
@@ -221,6 +342,11 @@ let init machine (sched : Schedule.t) =
     | Some o when Array.length (get o) >= len -> get o
     | _ -> Array.make (max len 1) false
   in
+  let gl get len =
+    match pooled with
+    | Some o when Array.length (get o) >= len -> get o
+    | _ -> Array.make (max len 1) ([] : int list)
+  in
   let table =
     match pooled with
     | Some o -> Cost_table.recycle o.table machine ~num_steps
@@ -253,6 +379,10 @@ let init machine (sched : Schedule.t) =
       first_need = gi (fun o -> o.first_need) np;
       fn_count = gi (fun o -> o.fn_count) np;
       ev_cnt = gi (fun o -> o.ev_cnt) n;
+      placed_ = gb (fun o -> o.placed_) np;
+      reps_ = gl (fun o -> o.reps_) n;
+      rep_total = 0;
+      rep_nodes = [];
       d_work = gi (fun o -> o.d_work) sp;
       d_send = gi (fun o -> o.d_send) sp;
       d_recv = gi (fun o -> o.d_recv) sp;
@@ -295,11 +425,39 @@ let init machine (sched : Schedule.t) =
     }
   in
   for v = 0 to n - 1 do
-    Cost_table.add_work st.table ~step:st.step_.(v) ~proc:st.proc_.(v) (Dag.work dag v)
+    st.placed_.((v * p) + st.proc_.(v)) <- true
+  done;
+  (* Replicas (if any) share their node's superstep — the move deltas
+     and the first_need bookkeeping rely on every placement of a node
+     attaining the same step. [Hc] only produces such schedules; reject
+     anything else loudly. *)
+  if Schedule.has_replicas sched then
+    for v = 0 to n - 1 do
+      let acc = ref [] in
+      Schedule.iter_replicas sched v (fun q s ->
+          if s <> st.step_.(v) then
+            invalid_arg
+              "Assignment_state.init: replicas must share their node's superstep";
+          st.placed_.((v * p) + q) <- true;
+          st.rep_total <- st.rep_total + 1;
+          acc := q :: !acc);
+      if !acc <> [] then begin
+        (* iter_replicas runs in ascending processor order *)
+        st.reps_.(v) <- List.rev !acc;
+        st.rep_nodes <- v :: st.rep_nodes
+      end
+    done;
+  for v = 0 to n - 1 do
+    let wv = Dag.work dag v in
+    Cost_table.add_work st.table ~step:st.step_.(v) ~proc:st.proc_.(v) wv;
+    if st.rep_total > 0 then
+      List.iter
+        (fun q -> Cost_table.add_work st.table ~step:st.step_.(v) ~proc:q wv)
+        st.reps_.(v)
   done;
   for u = 0 to n - 1 do
     recompute_first_need st u;
-    source_comm_all st u 1
+    source_comm_all_r st u 1
   done;
   Cost_table.refresh st.table;
   st
@@ -488,7 +646,18 @@ let fn_after st u q v p2 s2 =
   in
   if p2 = q && s2 < without_v then s2 else without_v
 
+(* Single-node moves reason about exactly one placement per node, so
+   they are rejected once replicas exist; the replication phase runs
+   after move convergence (DESIGN.md Section 5g) and never interleaves
+   with moves. *)
+let no_replicas st name =
+  if st.rep_total > 0 then
+    invalid_arg
+      ("Assignment_state." ^ name
+     ^ ": single-node moves are unavailable once the state holds replicas")
+
 let delta_cost st v p2 s2 =
+  no_replicas st "delta_cost";
   let p1 = st.proc_.(v) and s1 = st.step_.(v) in
   if p1 = p2 && s1 = s2 then 0
   else begin
@@ -867,6 +1036,7 @@ let eval_column st ~p1 ~p2 ~s2 =
   !delta
 
 let delta_cost_row st v ~s2 out =
+  no_replicas st "delta_cost_row";
   if st.row_node <> v then build_row_base st v;
   let p1 = st.proc_.(v) and s1 = st.step_.(v) in
   for p2 = 0 to st.p - 1 do
@@ -879,6 +1049,7 @@ let delta_cost_row st v ~s2 out =
    (the boundary supersteps of a node's validity window) share the base
    built for its full rows. *)
 let delta_cost_cached st v p2 s2 =
+  no_replicas st "delta_cost_cached";
   let p1 = st.proc_.(v) and s1 = st.step_.(v) in
   if p1 = p2 && s1 = s2 then 0
   else begin
@@ -936,6 +1107,7 @@ let update_fn st u q ~p1 ~s1 ~p2 ~s2 =
    only applies accepted moves; the state remains a pure function of the
    assignment, so any move can still be undone by its inverse). *)
 let apply_move st v p2 s2 =
+  no_replicas st "apply_move";
   st.row_node <- -1;
   let p1 = st.proc_.(v) and s1 = st.step_.(v) in
   (* Producer side of v itself: destinations and volumes depend on
@@ -952,6 +1124,8 @@ let apply_move st v p2 s2 =
   Cost_table.add_work st.table ~step:s2 ~proc:p2 (Dag.work st.dag v);
   st.proc_.(v) <- p2;
   st.step_.(v) <- s2;
+  st.placed_.((v * st.p) + p1) <- false;
+  st.placed_.((v * st.p) + p2) <- true;
   for i = st.poff.(v) to st.poff.(v + 1) - 1 do
     let u = Array.unsafe_get st.ptgt i in
     update_fn st u p1 ~p1 ~s1 ~p2 ~s2;
@@ -962,20 +1136,254 @@ let apply_move st v p2 s2 =
   source_comm_all st v 1;
   Cost_table.refresh st.table
 
-let snapshot st = Schedule.of_assignment st.dag ~proc:st.proc_ ~step:st.step_
+(* ------------------------------------------------------------------ *)
+(* Replication moves (DESIGN.md Section 5g). A replica of v on q runs
+   in v's own superstep on the extra processor: it duplicates v's work
+   there, turns v local to q's consumers, and must receive every
+   predecessor input q does not already hold. *)
+
+let num_replicas_total st = st.rep_total
+let node_replicas st v = st.reps_.(v)
+
+(* Live event traffic of one producer: the destinations it currently
+   ships to and each event's weighted volume. This is the per-event
+   granularity of the profiler's traffic matrix, and it is how the
+   search seeds replication candidates — replicating u onto a
+   destination it feeds removes that event outright. *)
+let iter_event_destinations st u f =
+  let base = u * st.p in
+  for q = 0 to st.p - 1 do
+    if st.first_need.(base + q) <> no_need && not st.placed_.(base + q) then
+      f q (Dag.comm st.dag u * Machine.lambda st.machine_ (nearest_src st u q) q)
+  done
+
+(* A replica of v may land on q iff nothing of v sits there yet and
+   every predecessor input is available: computed on q itself (any
+   placement), or computed strictly earlier so a lazy event can deliver
+   it by phase step(v) - 1. *)
+let valid_replicate st v q =
+  q >= 0 && q < st.p
+  && not st.placed_.((v * st.p) + q)
+  &&
+  let s = st.step_.(v) in
+  let ok = ref true in
+  let i = ref st.poff.(v) and stop = st.poff.(v + 1) in
+  while !ok && !i < stop do
+    let u = Array.unsafe_get st.ptgt !i in
+    if not (st.placed_.((u * st.p) + q) || st.step_.(u) < s) then ok := false;
+    incr i
+  done;
+  !ok
+
+(* A replica of v on q may be dropped iff q does not consume v in v's
+   own superstep: the replacement event lands at phase fn - 1 >= step(v)
+   and is therefore deliverable from any remaining placement. *)
+let valid_drop_replica st v q =
+  List.mem q st.reps_.(v)
+  &&
+  let fn = st.first_need.((v * st.p) + q) in
+  fn = no_need || fn > st.step_.(v)
+
+(* Cost change of placing a replica of v on q; requires valid_replicate.
+   Three effects: v's work is duplicated in (step v, q); v's producer
+   events reroute — the event towards q disappears (q computes v
+   itself) and any destination for which q becomes the nearest
+   placement switches source; and every predecessor not placed on q
+   must feed the replica, possibly earlier than its current first need
+   there. Uses the shared delta scratch, so it invalidates any resident
+   row base and must not interleave with row evaluations. *)
+let delta_cost_replicate st v q =
+  reset_scratch st;
+  st.row_node <- -1;
+  let s = st.step_.(v) in
+  let cv = Dag.comm st.dag v in
+  let lam = st.machine_.Machine.lambda in
+  let base = v * st.p in
+  acc_work st s q (Dag.work st.dag v);
+  for r = 0 to st.p - 1 do
+    let fn = Array.unsafe_get st.first_need (base + r) in
+    if fn <> no_need && not st.placed_.(base + r) then begin
+      let cur = nearest_src st v r in
+      if r = q then acc_comm st (fn - 1) ~src:cur ~dst:q (-(cv * lam.(cur).(q)))
+      else if src_with_replica st v ~cand:q r ~cur <> cur then begin
+        acc_comm st (fn - 1) ~src:cur ~dst:r (-(cv * lam.(cur).(r)));
+        acc_comm st (fn - 1) ~src:q ~dst:r (cv * lam.(q).(r))
+      end
+    end
+  done;
+  for k = st.poff.(v) to st.poff.(v + 1) - 1 do
+    let u = Array.unsafe_get st.ptgt k in
+    if not st.placed_.((u * st.p) + q) then begin
+      let old_fn = Array.unsafe_get st.first_need ((u * st.p) + q) in
+      if s < old_fn then begin
+        let src = nearest_src st u q in
+        let vol = Dag.comm st.dag u * lam.(src).(q) in
+        if old_fn <> no_need then acc_comm st (old_fn - 1) ~src ~dst:q (-vol);
+        (* valid_replicate guarantees step(u) < s for predecessors not
+           placed on q, so s >= 1 here *)
+        acc_comm st (s - 1) ~src ~dst:q vol
+      end
+    end
+  done;
+  cost_of_touched st
+
+(* Cost change of dropping the replica of v on q; requires
+   valid_drop_replica. Mirror image of delta_cost_replicate: q
+   re-acquires an event for its (strictly later) consumers of v,
+   destinations fed from q reroute to the next-nearest placement, and
+   predecessor events pinned to the replica's consumption may move
+   later or vanish. *)
+let delta_cost_drop_replica st v q =
+  reset_scratch st;
+  st.row_node <- -1;
+  let s = st.step_.(v) in
+  let cv = Dag.comm st.dag v in
+  let lam = st.machine_.Machine.lambda in
+  let base = v * st.p in
+  acc_work st s q (-(Dag.work st.dag v));
+  for r = 0 to st.p - 1 do
+    let fn = Array.unsafe_get st.first_need (base + r) in
+    if fn <> no_need then begin
+      if r = q then begin
+        let src = nearest_src_without st v q ~excl:q in
+        acc_comm st (fn - 1) ~src ~dst:q (cv * lam.(src).(q))
+      end
+      else if not st.placed_.(base + r) then begin
+        let cur = nearest_src st v r in
+        if cur = q then begin
+          let src = nearest_src_without st v r ~excl:q in
+          acc_comm st (fn - 1) ~src:q ~dst:r (-(cv * lam.(q).(r)));
+          acc_comm st (fn - 1) ~src ~dst:r (cv * lam.(src).(r))
+        end
+      end
+    end
+  done;
+  for k = st.poff.(v) to st.poff.(v + 1) - 1 do
+    let u = Array.unsafe_get st.ptgt k in
+    if not st.placed_.((u * st.p) + q) then begin
+      let idx = (u * st.p) + q in
+      let old_fn = Array.unsafe_get st.first_need idx in
+      (* the replica consumes u at step s, so old_fn <= s; the event
+         moves only when the replica was the unique attainer *)
+      if s = old_fn && Array.unsafe_get st.fn_count idx = 1 then begin
+        let m = ref no_need in
+        for i = st.soff.(u) to st.soff.(u + 1) - 1 do
+          let w = Array.unsafe_get st.stgt i in
+          if w <> v && st.placed_.((w * st.p) + q) && st.step_.(w) < !m then
+            m := st.step_.(w)
+        done;
+        if !m <> old_fn then begin
+          let src = nearest_src st u q in
+          let vol = Dag.comm st.dag u * lam.(src).(q) in
+          acc_comm st (old_fn - 1) ~src ~dst:q (-vol);
+          if !m <> no_need then acc_comm st (!m - 1) ~src ~dst:q vol
+        end
+      end
+    end
+  done;
+  cost_of_touched st
+
+let rec insert_sorted q = function
+  | [] -> [ q ]
+  | r :: rest as l -> if q < r then q :: l else r :: insert_sorted q rest
+
+(* Apply the replication unconditionally (same contract as apply_move:
+   the state stays a pure function of the placement multi-assignment).
+   Events are retracted against the pre-move state, the placement and
+   first_need bookkeeping updated, and the events re-added against the
+   post-move state; only v's own events and the predecessors' events
+   towards q can change, everything else is untouched. *)
+let apply_replicate st v q =
+  st.row_node <- -1;
+  let s = st.step_.(v) in
+  source_comm_all_r st v (-1);
+  let pbase = st.poff.(v) and pstop = st.poff.(v + 1) in
+  for i = pbase to pstop - 1 do
+    source_comm_one_r st (Array.unsafe_get st.ptgt i) q (-1)
+  done;
+  Cost_table.add_work st.table ~step:s ~proc:q (Dag.work st.dag v);
+  st.placed_.((v * st.p) + q) <- true;
+  st.reps_.(v) <- insert_sorted q st.reps_.(v);
+  st.rep_total <- st.rep_total + 1;
+  st.rep_nodes <- v :: st.rep_nodes;
+  for i = pbase to pstop - 1 do
+    let u = Array.unsafe_get st.ptgt i in
+    let idx = (u * st.p) + q in
+    let old_fn = st.first_need.(idx) in
+    if s < old_fn then begin
+      if old_fn = no_need then st.ev_cnt.(u) <- st.ev_cnt.(u) + 1;
+      st.first_need.(idx) <- s;
+      st.fn_count.(idx) <- 1
+    end
+    else if s = old_fn then st.fn_count.(idx) <- st.fn_count.(idx) + 1;
+    source_comm_one_r st u q 1
+  done;
+  source_comm_all_r st v 1;
+  Cost_table.refresh st.table
+
+let apply_drop_replica st v q =
+  st.row_node <- -1;
+  let s = st.step_.(v) in
+  source_comm_all_r st v (-1);
+  let pbase = st.poff.(v) and pstop = st.poff.(v + 1) in
+  for i = pbase to pstop - 1 do
+    source_comm_one_r st (Array.unsafe_get st.ptgt i) q (-1)
+  done;
+  Cost_table.add_work st.table ~step:s ~proc:q (-(Dag.work st.dag v));
+  st.placed_.((v * st.p) + q) <- false;
+  st.reps_.(v) <- List.filter (fun r -> r <> q) st.reps_.(v);
+  st.rep_total <- st.rep_total - 1;
+  (* rep_nodes keeps v: release tolerates duplicates and empty lists *)
+  for i = pbase to pstop - 1 do
+    let u = Array.unsafe_get st.ptgt i in
+    let idx = (u * st.p) + q in
+    if s = st.first_need.(idx) then begin
+      if st.fn_count.(idx) > 1 then st.fn_count.(idx) <- st.fn_count.(idx) - 1
+      else rescan_fn_r st u q (* v's placed bit is already clear *)
+    end;
+    source_comm_one_r st u q 1
+  done;
+  source_comm_all_r st v 1;
+  Cost_table.refresh st.table
+
+let snapshot st =
+  if st.rep_total = 0 then Schedule.of_assignment st.dag ~proc:st.proc_ ~step:st.step_
+  else begin
+    let replicas = ref [] in
+    for v = 0 to Dag.n st.dag - 1 do
+      List.iter (fun q -> replicas := (v, q, st.step_.(v)) :: !replicas) st.reps_.(v)
+    done;
+    Schedule.of_assignment_replicated st.machine_ st.dag ~proc:st.proc_
+      ~step:st.step_ ~replicas:!replicas
+  end
 
 let assignment st = (Array.copy st.proc_, Array.copy st.step_)
 
 let check_consistent st =
   Cost_table.assert_consistent st.table;
   let n = Dag.n st.dag in
+  let reps_seen = ref 0 in
+  for v = 0 to n - 1 do
+    let rec sorted = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> a < b && sorted rest
+    in
+    if not (sorted st.reps_.(v)) then failwith "Assignment_state: reps_ not sorted";
+    reps_seen := !reps_seen + List.length st.reps_.(v);
+    for q = 0 to st.p - 1 do
+      let expect = q = st.proc_.(v) || List.mem q st.reps_.(v) in
+      if st.placed_.((v * st.p) + q) <> expect then
+        failwith "Assignment_state: stale placed_"
+    done
+  done;
+  if !reps_seen <> st.rep_total then failwith "Assignment_state: stale rep_total";
   for u = 0 to n - 1 do
     let base = u * st.p in
     let live = ref 0 in
     for q = 0 to st.p - 1 do
       let m = ref no_need and c = ref 0 in
       Dag.iter_succ st.dag u (fun w ->
-          if st.proc_.(w) = q then begin
+          if st.placed_.((w * st.p) + q) then begin
             let s = st.step_.(w) in
             if s < !m then begin
               m := s;
@@ -1005,6 +1413,19 @@ let release st =
   done;
   st.col_steps_len <- 0;
   reset_scratch st;
+  (* Restore the pooled all-false/all-[] invariant of the replication
+     arrays: primary bits for every node, replica bits and lists via
+     rep_nodes (idempotent across its duplicates). *)
+  for v = 0 to Dag.n st.dag - 1 do
+    st.placed_.((v * st.p) + st.proc_.(v)) <- false
+  done;
+  List.iter
+    (fun v ->
+      List.iter (fun q -> st.placed_.((v * st.p) + q) <- false) st.reps_.(v);
+      st.reps_.(v) <- [])
+    st.rep_nodes;
+  st.rep_nodes <- [];
+  st.rep_total <- 0;
   Cost_table.clear st.table;
   let pool = Domain.DLS.get pool_key in
   if List.length !pool < max_pooled then pool := st :: !pool

@@ -10,14 +10,29 @@
 
     The state is a pure function of the assignment [(pi, tau)], so any
     applied move can be rolled back exactly by applying the inverse
-    move. *)
+    move.
+
+    {b Replication} (DESIGN.md Section 5g). The state also supports a
+    second move family: place an extra {e replica} of a node on another
+    processor (in the node's own superstep), or drop one again. A
+    replica duplicates the node's work on its processor, makes the node
+    local to that processor's consumers, and receives every predecessor
+    input the processor does not already hold; events ship from the
+    nearest placement by [lambda] (primary first, then ascending replica
+    processors on ties). Replication moves and single-node moves do not
+    interleave: once the state holds a replica, the move entry points
+    ({!delta_cost}, {!delta_cost_row}, {!delta_cost_cached},
+    {!apply_move}) raise [Invalid_argument] — the search runs its move
+    phase to convergence first and replicates afterwards. *)
 
 type t
 
 val init : Machine.t -> Schedule.t -> t
 (** Build the state from a schedule (its communication schedule is
     replaced by the lazy one). The number of supersteps is fixed for the
-    lifetime of the state.
+    lifetime of the state. Replicated schedules are accepted as long as
+    every replica shares its node's superstep — the only shape the
+    search itself produces; anything else raises [Invalid_argument].
 
     States draw their scratch arrays from a per-domain pool fed by
     {!release}, so a search loop that releases its states runs
@@ -101,13 +116,61 @@ val iter_last_touched_steps : t -> (int -> unit) -> unit
     supersteps after accepting a move. Invalidated by the next
     {!delta_cost}. *)
 
+val num_replicas_total : t -> int
+(** Number of replicas currently held across all nodes; [0] until an
+    {!apply_replicate} (or an {!init} from a replicated schedule). *)
+
+val node_replicas : t -> int -> int list
+(** The replica processors of one node, ascending; [[]] for most. *)
+
+val iter_event_destinations : t -> int -> (int -> int -> unit) -> unit
+(** [iter_event_destinations st u f] calls [f q vol] for every
+    destination processor [q] that currently receives the value of [u]
+    by a lazy event, with [vol] the event's weighted volume
+    [comm(u) * lambda(nearest placement, q)] — the per-event granularity
+    of {!Profile}'s traffic matrix. Ascending [q]; used to seed
+    replication candidates with the heaviest traffic first. *)
+
+val valid_replicate : t -> int -> int -> bool
+(** [valid_replicate st v q] — may a replica of [v] be placed on [q]?
+    True iff [q] is a real processor holding no placement of [v] yet and
+    every predecessor of [v] is either placed on [q] (so the input is
+    local) or computed strictly before [v]'s superstep (so a lazy event
+    can deliver it in time). *)
+
+val delta_cost_replicate : t -> int -> int -> int
+(** Exact signed change of {!total_cost} that {!apply_replicate} would
+    produce, computed without mutating (same scratch-overlay scheme as
+    {!delta_cost}). Requires {!valid_replicate}. *)
+
+val apply_replicate : t -> int -> int -> unit
+(** Place the replica unconditionally (caller checks validity); updates
+    the placement, first-need and cost bookkeeping incrementally. *)
+
+val valid_drop_replica : t -> int -> int -> bool
+(** [valid_drop_replica st v q] — may the replica of [v] on [q] be
+    removed again? True iff it exists and no consumer on [q] needs [v]
+    in [v]'s own superstep (the replacement event would arrive too
+    late). Dropping is the exact inverse of {!apply_replicate} when that
+    replication was itself valid. *)
+
+val delta_cost_drop_replica : t -> int -> int -> int
+(** Exact signed cost change of {!apply_drop_replica}, computed without
+    mutating. Requires {!valid_drop_replica}. *)
+
+val apply_drop_replica : t -> int -> int -> unit
+(** Remove the replica unconditionally (caller checks validity). *)
+
 val check_consistent : t -> unit
 (** Debug helper: verifies the incremental cost table against a
-    from-scratch recomputation and the [first_need]/minimiser-count
-    bookkeeping against the successor lists; raises on any mismatch. *)
+    from-scratch recomputation, the [first_need]/minimiser-count
+    bookkeeping against the successor lists (placement-aware), and the
+    placement/replica-list agreement; raises on any mismatch. *)
 
 val snapshot : t -> Schedule.t
-(** The current assignment as a schedule with lazy communication. *)
+(** The current placement as a schedule with lazy communication —
+    replicated ({!Schedule.lazy_comm_replicated}) when the state holds
+    replicas, plain otherwise. *)
 
 val assignment : t -> int array * int array
 (** Copies of the current [(proc, step)] arrays. *)

@@ -1,12 +1,21 @@
 type stats = {
   moves_applied : int;
   moves_evaluated : int;
+  replicas_added : int;
+  replicas_dropped : int;
   initial_cost : int;
   final_cost : int;
 }
 
 let no_stats initial_cost =
-  { moves_applied = 0; moves_evaluated = 0; initial_cost; final_cost = initial_cost }
+  {
+    moves_applied = 0;
+    moves_evaluated = 0;
+    replicas_added = 0;
+    replicas_dropped = 0;
+    initial_cost;
+    final_cost = initial_cost;
+  }
 
 (* Shared check-mode verification: the read-only delta must agree with
    the mutating path, both forwards and after rolling back. *)
@@ -34,7 +43,120 @@ let try_move ~check st v p2 s2 =
     false
   end
 
-let improve ?(check = false) ?(budget = Budget.unlimited ()) ?max_moves machine sched =
+(* ------------------------------------------------------------------ *)
+(* Replication phase (DESIGN.md Section 5g). Runs only after the move
+   search has converged — single-node moves and replication moves never
+   interleave (Assignment_state rejects moves once replicas exist), so
+   replication is a final polish on the move-phase local minimum.
+
+   Candidates are seeded from the live event traffic — the per-event
+   granularity of the profiler's traffic matrix: replicating u onto a
+   destination it currently ships to removes that event outright and may
+   pull other events to a nearer source, at the price of recomputing u's
+   work. Each round evaluates the candidates heaviest-traffic first
+   (ties broken by ascending (node, processor) for determinism), applies
+   every strict improvement, then reconsiders existing replicas for
+   dropping; rounds repeat until one passes without a change. *)
+
+let try_replicate ~check st v q =
+  let delta = Assignment_state.delta_cost_replicate st v q in
+  if delta < 0 then begin
+    let before = Assignment_state.total_cost st in
+    Assignment_state.apply_replicate st v q;
+    if check && Assignment_state.total_cost st <> before + delta then
+      failwith "Hc: delta_cost_replicate disagrees with apply_replicate";
+    true
+  end
+  else begin
+    if check then begin
+      let before = Assignment_state.total_cost st in
+      Assignment_state.apply_replicate st v q;
+      if Assignment_state.total_cost st <> before + delta then
+        failwith "Hc: delta_cost_replicate disagrees with apply_replicate";
+      (* a just-placed replica is always droppable: its consumers on q
+         were strictly later than v in the pre-move (valid) schedule *)
+      Assignment_state.apply_drop_replica st v q;
+      if Assignment_state.total_cost st <> before then
+        failwith "Hc: replica rollback did not restore the total cost"
+    end;
+    false
+  end
+
+let try_drop ~check st v q =
+  let delta = Assignment_state.delta_cost_drop_replica st v q in
+  if delta < 0 then begin
+    let before = Assignment_state.total_cost st in
+    Assignment_state.apply_drop_replica st v q;
+    if check && Assignment_state.total_cost st <> before + delta then
+      failwith "Hc: delta_cost_drop_replica disagrees with apply_drop_replica";
+    true
+  end
+  else begin
+    if check then begin
+      let before = Assignment_state.total_cost st in
+      Assignment_state.apply_drop_replica st v q;
+      if Assignment_state.total_cost st <> before + delta then
+        failwith "Hc: delta_cost_drop_replica disagrees with apply_drop_replica";
+      Assignment_state.apply_replicate st v q;
+      if Assignment_state.total_cost st <> before then
+        failwith "Hc: replica rollback did not restore the total cost"
+    end;
+    false
+  end
+
+let replication_phase ~check ~budget st n =
+  let added = ref 0 and dropped = ref 0 and evaluated = ref 0 in
+  let stop () = Budget.exhausted budget in
+  let changed = ref true in
+  while !changed && not (stop ()) do
+    changed := false;
+    let cands = ref [] in
+    for u = n - 1 downto 0 do
+      Assignment_state.iter_event_destinations st u (fun q vol ->
+          if Assignment_state.valid_replicate st u q then cands := (vol, u, q) :: !cands)
+    done;
+    let cands =
+      List.sort
+        (fun (v1, u1, q1) (v2, u2, q2) ->
+          if v1 <> v2 then compare v2 v1
+          else if u1 <> u2 then compare u1 u2
+          else compare q1 q2)
+        !cands
+    in
+    List.iter
+      (fun (_, u, q) ->
+        (* re-check: an earlier acceptance this round may have placed or
+           starved this candidate *)
+        if (not (stop ())) && Assignment_state.valid_replicate st u q then begin
+          ignore (Budget.tick budget : bool);
+          incr evaluated;
+          if try_replicate ~check st u q then begin
+            incr added;
+            changed := true
+          end
+        end)
+      cands;
+    for v = 0 to n - 1 do
+      List.iter
+        (fun q ->
+          if (not (stop ())) && Assignment_state.valid_drop_replica st v q then begin
+            ignore (Budget.tick budget : bool);
+            incr evaluated;
+            if try_drop ~check st v q then begin
+              incr dropped;
+              changed := true
+            end
+          end)
+        (Assignment_state.node_replicas st v)
+    done
+  done;
+  Obs.Metrics.counter "hc.replication_candidates" !evaluated;
+  Obs.Metrics.counter "hc.replicas_added" !added;
+  Obs.Metrics.counter "hc.replicas_dropped" !dropped;
+  (!added, !dropped, !evaluated)
+
+let improve ?(check = false) ?(budget = Budget.unlimited ()) ?max_moves
+    ?(replicate = false) machine sched =
   let dag = sched.Schedule.dag in
   let n = Dag.n dag in
   let initial = Schedule.with_lazy_comm sched in
@@ -244,6 +366,13 @@ let improve ?(check = false) ?(budget = Budget.unlimited ()) ?max_moves machine 
     Obs.Metrics.gauge_max "hc.worklist_peak" (float_of_int !queue_peak);
     Obs.Metrics.counter "hc.verify_sweeps" !sweeps;
     Obs.Metrics.counter "hc.verify_sweep_hits" !sweep_hits;
+    let replicas_added, replicas_dropped =
+      if replicate && not (stop ()) then begin
+        let a, d, _ = replication_phase ~check ~budget st n in
+        (a, d)
+      end
+      else (0, 0)
+    in
     let result = Assignment_state.snapshot st in
     let final_cost = Bsp_cost.total machine result in
     Assignment_state.release st;
@@ -251,9 +380,31 @@ let improve ?(check = false) ?(budget = Budget.unlimited ()) ?max_moves machine 
       {
         moves_applied = !moves_applied;
         moves_evaluated = !moves_evaluated;
+        replicas_added;
+        replicas_dropped;
         initial_cost;
         final_cost;
       } )
+  end
+
+(* Replication-only pass over an already-optimised schedule: the move
+   phase is skipped entirely, so the input placement survives verbatim
+   and only replicas are added (or not). The input communication
+   schedule is replaced by the lazy one, which can cost more than a
+   hand-optimised event placement — callers compare the result against
+   their input and keep the cheaper (as {!Pipeline.run} does). *)
+let replicate_schedule ?(check = false) ?(budget = Budget.unlimited ()) machine sched =
+  let dag = sched.Schedule.dag in
+  let n = Dag.n dag in
+  let initial = Schedule.with_lazy_comm sched in
+  if n = 0 || Schedule.num_supersteps sched = 0 then initial
+  else begin
+    let st = Assignment_state.init machine initial in
+    let _ = replication_phase ~check ~budget st n in
+    if check then Assignment_state.check_consistent st;
+    let result = Assignment_state.snapshot st in
+    Assignment_state.release st;
+    result
   end
 
 (* The seed implementation: exhaustive sweeps with apply/rollback
@@ -321,6 +472,8 @@ let improve_reference ?(check = false) ?(budget = Budget.unlimited ()) ?max_move
       {
         moves_applied = !moves_applied;
         moves_evaluated = !moves_evaluated;
+        replicas_added = 0;
+        replicas_dropped = 0;
         initial_cost;
         final_cost;
       } )

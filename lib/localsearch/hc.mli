@@ -31,6 +31,8 @@
 type stats = {
   moves_applied : int;
   moves_evaluated : int;
+  replicas_added : int;  (** by the replication phase; [0] unless enabled *)
+  replicas_dropped : int;
   initial_cost : int;
   final_cost : int;
 }
@@ -39,13 +41,15 @@ val improve :
   ?check:bool ->
   ?budget:Budget.t ->
   ?max_moves:int ->
+  ?replicate:bool ->
   Machine.t ->
   Schedule.t ->
   Schedule.t * stats
 (** Run the greedy first-improvement search. The input communication
     schedule is replaced by the lazy one (HC is specified over lazy
     schedules — Appendix A); the output cost is therefore measured on the
-    lazy schedule too and never exceeds the input's lazy cost.
+    lazy schedule too and never exceeds the input's lazy cost. The input
+    must be replica-free (raises [Invalid_argument] otherwise).
 
     [check] (default [false]) cross-validates every read-only delta
     against an apply/rollback round-trip of the mutating path — the
@@ -55,7 +59,26 @@ val improve :
     [budget] is ticked once per evaluated candidate move (use it for
     wall-clock limits); [max_moves] caps the number of {e applied}
     improvement moves, which is how the multilevel refinement phase
-    bounds its per-level work (Appendix A.5). *)
+    bounds its per-level work (Appendix A.5).
+
+    [replicate] (default [false]) runs the node-replication phase after
+    the move search converges (DESIGN.md Section 5g): candidate
+    replications are seeded from the live event traffic (the per-event
+    granularity of {!Profile}'s traffic matrix), evaluated
+    heaviest-first, and applied on strict improvement, with existing
+    replicas reconsidered for dropping, until a full round changes
+    nothing. With [replicate:false] the result is bit-identical to the
+    pre-replication engine. *)
+
+val replicate_schedule :
+  ?check:bool -> ?budget:Budget.t -> Machine.t -> Schedule.t -> Schedule.t
+(** The replication phase alone: no single-node moves, so the input
+    node-to-processor placement survives verbatim and only replicas are
+    added where they strictly reduce the lazy cost. The input
+    communication schedule is replaced by the lazy one, which can undo a
+    hand-optimised event placement — compare the result's cost against
+    the input's and keep the cheaper, as {!Pipeline.run} does. The input
+    must be replica-free. *)
 
 val improve_reference :
   ?check:bool ->

@@ -19,9 +19,13 @@ let tables machine (t : Schedule.t) ~num_steps =
   let send = Array.make_matrix num_steps p 0 in
   let recv = Array.make_matrix num_steps p 0 in
   let dag = t.dag in
+  (* Every placement computes the node, so every placement pays its
+     work: the primary on (step v, proc v) and each replica on its own
+     (step, proc) cell. *)
   for v = 0 to Dag.n dag - 1 do
-    let s = t.step.(v) in
-    if s < num_steps then work.(s).(t.proc.(v)) <- work.(s).(t.proc.(v)) + Dag.work dag v
+    let wv = Dag.work dag v in
+    Schedule.iter_placements t v (fun q s ->
+        if s < num_steps then work.(s).(q) <- work.(s).(q) + wv)
   done;
   List.iter
     (fun (e : comm_event) ->

@@ -31,6 +31,8 @@ type t = {
   critical_path_work : int;
   work_floor : int;
   lower_bound : int;
+  num_replicas : int;
+  replica_work : int;
 }
 
 (* max / mean over all p entries; 1.0 when the phase is empty so a
@@ -94,6 +96,18 @@ let compute machine (t : Schedule.t) =
   let latency_total = num_steps * machine.Machine.l in
   let node_work = Dag.total_work t.dag in
   let critical_path_work = Dag.critical_path_work t.dag in
+  (* Replication recomputes nodes, so the work attributed across
+     processors exceeds [node_work] by [replica_work]; the work floor
+     stays a valid lower bound (every node is computed at least once,
+     and chains still execute sequentially). *)
+  let num_replicas = Schedule.num_replicas t in
+  let replica_work = ref 0 in
+  if num_replicas > 0 then
+    for v = 0 to Dag.n t.dag - 1 do
+      let wv = Dag.work t.dag v in
+      Schedule.iter_replicas t v (fun _ _ -> replica_work := !replica_work + wv)
+    done;
+  let replica_work = !replica_work in
   let work_floor = max ((node_work + p - 1) / p) critical_path_work in
   {
     p;
@@ -112,6 +126,8 @@ let compute machine (t : Schedule.t) =
     critical_path_work;
     work_floor;
     lower_bound = (if Dag.n t.dag = 0 then 0 else work_floor + machine.Machine.l);
+    num_replicas;
+    replica_work;
   }
 
 let gap_ratio t =
@@ -179,6 +195,8 @@ let to_json t =
       ("critical_path_work", Int t.critical_path_work);
       ("work_floor", Int t.work_floor);
       ("lower_bound", Int t.lower_bound);
+      ("num_replicas", Int t.num_replicas);
+      ("replica_work", Int t.replica_work);
       ("gap_ratio", Float (gap_ratio t));
       ("proc_work", ints t.proc_work);
       ("proc_send", ints t.proc_send);
@@ -214,6 +232,9 @@ let pp fmt t =
   Format.fprintf fmt
     "lower bound %d (work floor %d = max(ceil(%d/%d), critical path %d) + latency), gap %.2fx@\n"
     t.lower_bound t.work_floor t.node_work t.p t.critical_path_work (gap_ratio t);
+  if t.num_replicas > 0 then
+    Format.fprintf fmt "replication: %d replicas recomputing %d work units@\n"
+      t.num_replicas t.replica_work;
   Format.fprintf fmt "per-processor totals:@\n";
   for q = 0 to t.p - 1 do
     Format.fprintf fmt "  p%-3d work %-8d (util %5.1f%%)  idle %-8d send %-8d recv %d@\n" q

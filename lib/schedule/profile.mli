@@ -57,7 +57,15 @@ type t = {
           least one superstep every non-empty schedule pays. [0] for the
           empty DAG. Communication is not bounded below (a
           single-processor schedule needs none), so this is a valid —
-          if optimistic — floor for the full cost. *)
+          if optimistic — floor for the full cost. Replication only adds
+          work, so the floor also holds for replicated schedules. *)
+  num_replicas : int;  (** extra replica placements in the schedule *)
+  replica_work : int;
+      (** work units recomputed by replicas; [proc_work] sums to
+          [node_work + replica_work]. Replica work is attributed to the
+          replica's own (superstep, processor) cell by
+          {!Bsp_cost.tables}, so all reconciliation invariants hold
+          unchanged for replicated schedules. *)
 }
 
 val compute : Machine.t -> Schedule.t -> t

@@ -5,19 +5,125 @@ type t = {
   proc : int array;
   step : int array;
   comm : comm_event list;
+  rep_off : int array;
+  rep_proc : int array;
+  rep_step : int array;
 }
+
+(* Shared empty replica tables: a fresh [rep_off] per schedule would be
+   n + 1 words of garbage for the overwhelmingly common replica-free
+   case. [rep_off] is all zeros for an empty table, so one physical
+   array per length can back every replica-free schedule of that DAG —
+   but sharing across lengths is not worth a cache, so we just allocate
+   the zero array once per construction via [empty_rep_off]. The
+   [rep_proc]/[rep_step] pair is genuinely shared. *)
+let no_extras : int array = [||]
+
+let empty_rep_off n = Array.make (n + 1) 0
+
+let num_replicas t = t.rep_off.(Array.length t.rep_off - 1)
+let has_replicas t = num_replicas t > 0
+
+let iter_replicas t v f =
+  for i = t.rep_off.(v) to t.rep_off.(v + 1) - 1 do
+    f t.rep_proc.(i) t.rep_step.(i)
+  done
+
+let replicas t v =
+  let acc = ref [] in
+  for i = t.rep_off.(v + 1) - 1 downto t.rep_off.(v) do
+    acc := (t.rep_proc.(i), t.rep_step.(i)) :: !acc
+  done;
+  !acc
+
+let iter_placements t v f =
+  f t.proc.(v) t.step.(v);
+  iter_replicas t v f
 
 let make dag ~proc ~step ~comm =
   if Array.length proc <> Dag.n dag || Array.length step <> Dag.n dag then
     invalid_arg "Schedule.make: assignment length mismatch";
-  { dag; proc = Array.copy proc; step = Array.copy step; comm }
+  {
+    dag;
+    proc = Array.copy proc;
+    step = Array.copy step;
+    comm;
+    rep_off = empty_rep_off (Dag.n dag);
+    rep_proc = no_extras;
+    rep_step = no_extras;
+  }
+
+(* Build the CSR side table from an explicit (node, proc, step) list.
+   Entries are sorted by (node, proc) so iteration order — and hence
+   everything derived from it (lazy events, IO, rendering) — is
+   deterministic regardless of the order the caller discovered the
+   replicas in. *)
+let build_replica_table n ~proc ~replicas =
+  let reps =
+    List.sort
+      (fun (v1, q1, s1) (v2, q2, s2) ->
+        if v1 <> v2 then compare v1 v2
+        else if q1 <> q2 then compare q1 q2
+        else compare s1 s2)
+      replicas
+  in
+  let count = List.length reps in
+  let rep_off = Array.make (n + 1) 0 in
+  let rep_proc = Array.make (max count 1) 0 in
+  let rep_step = Array.make (max count 1) 0 in
+  let i = ref 0 in
+  let prev = ref (-1, -1) in
+  List.iter
+    (fun (v, q, s) ->
+      if v < 0 || v >= n then invalid_arg "Schedule: replica node out of range";
+      if q < 0 then invalid_arg "Schedule: replica processor out of range";
+      if s < 0 then invalid_arg "Schedule: replica superstep out of range";
+      if q = proc.(v) then
+        invalid_arg "Schedule: replica duplicates the primary placement";
+      if !prev = (v, q) then invalid_arg "Schedule: duplicate replica (node, proc)";
+      prev := (v, q);
+      rep_off.(v + 1) <- rep_off.(v + 1) + 1;
+      rep_proc.(!i) <- q;
+      rep_step.(!i) <- s;
+      incr i)
+    reps;
+  for v = 0 to n - 1 do
+    rep_off.(v + 1) <- rep_off.(v + 1) + rep_off.(v)
+  done;
+  if count = 0 then (rep_off, no_extras, no_extras)
+  else (rep_off, rep_proc, rep_step)
+
+let make_replicated dag ~proc ~step ~comm ~replicas =
+  if Array.length proc <> Dag.n dag || Array.length step <> Dag.n dag then
+    invalid_arg "Schedule.make_replicated: assignment length mismatch";
+  let proc = Array.copy proc and step = Array.copy step in
+  let rep_off, rep_proc, rep_step =
+    build_replica_table (Dag.n dag) ~proc ~replicas
+  in
+  { dag; proc; step; comm; rep_off; rep_proc; rep_step }
 
 let num_supersteps t =
-  if Dag.n t.dag = 0 then 0 else 1 + Array.fold_left max 0 t.step
+  if Dag.n t.dag = 0 then 0
+  else begin
+    let m = ref (Array.fold_left max 0 t.step) in
+    let extras = num_replicas t in
+    for i = 0 to extras - 1 do
+      if t.rep_step.(i) > !m then m := t.rep_step.(i)
+    done;
+    1 + !m
+  end
 
 let trivial dag =
   let n = Dag.n dag in
-  { dag; proc = Array.make n 0; step = Array.make n 0; comm = [] }
+  {
+    dag;
+    proc = Array.make n 0;
+    step = Array.make n 0;
+    comm = [];
+    rep_off = empty_rep_off n;
+    rep_proc = no_extras;
+    rep_step = no_extras;
+  }
 
 (* first_need.(u * p + dst) is the earliest superstep the destination
    processor dst needs the value of u. A flat table over the processors
@@ -59,9 +165,97 @@ let of_assignment dag ~proc ~step =
     proc = Array.copy proc;
     step = Array.copy step;
     comm = lazy_comm dag ~proc ~step;
+    rep_off = empty_rep_off (Dag.n dag);
+    rep_proc = no_extras;
+    rep_step = no_extras;
   }
 
-let with_lazy_comm t = { t with comm = lazy_comm t.dag ~proc:t.proc ~step:t.step }
+let with_lazy_comm t =
+  if has_replicas t then
+    invalid_arg
+      "Schedule.with_lazy_comm: schedule has replicas (use \
+       with_lazy_comm_replicated)";
+  { t with comm = lazy_comm t.dag ~proc:t.proc ~step:t.step }
+
+(* Earliest step at which any placement (primary or replica) of [u]
+   exists on processor [q], or [max_int] if none. *)
+let placement_step_on t u q =
+  let best = ref max_int in
+  if t.proc.(u) = q then best := t.step.(u);
+  for i = t.rep_off.(u) to t.rep_off.(u + 1) - 1 do
+    if t.rep_proc.(i) = q && t.rep_step.(i) < !best then best := t.rep_step.(i)
+  done;
+  !best
+
+(* Replica-aware lazy communication schedule. Generalisation of
+   [lazy_comm]: a consumer placement of [v] at [(q, s)] is locally
+   satisfied when some placement of its predecessor [u] sits on [q] at a
+   step <= s; only unsatisfied consumers generate a need. Each needed
+   (value, destination) pair is served by exactly one event, sent in the
+   last possible phase from the placement of [u] that minimises
+   lambda(src, dst) among those already computed by that phase
+   (ties: the primary copy wins, then the lowest replica processor —
+   replica tables are sorted, so this is deterministic). With an empty
+   replica table this reduces exactly to [lazy_comm]. *)
+let lazy_comm_replicated machine t =
+  let dag = t.dag in
+  let n = Dag.n dag in
+  if n = 0 then []
+  else begin
+    let p = ref machine.Machine.p in
+    Array.iter (fun q -> if q + 1 > !p then p := q + 1) t.proc;
+    Array.iter (fun q -> if q + 1 > !p then p := q + 1) t.rep_proc;
+    let p = !p in
+    let no_need = max_int in
+    let first_need = Array.make (n * p) no_need in
+    let consume v q s =
+      Dag.iter_pred dag v (fun u ->
+          if placement_step_on t u q > s then begin
+            let idx = (u * p) + q in
+            if s < first_need.(idx) then first_need.(idx) <- s
+          end)
+    in
+    for v = 0 to n - 1 do
+      iter_placements t v (fun q s -> consume v q s)
+    done;
+    let acc = ref [] in
+    for u = n - 1 downto 0 do
+      let base = u * p in
+      for dst = p - 1 downto 0 do
+        let s = first_need.(base + dst) in
+        if s <> no_need then begin
+          let phase = s - 1 in
+          (* Nearest-by-lambda placement of [u] available by [phase]. *)
+          let src = ref t.proc.(u) in
+          let best =
+            if t.step.(u) <= phase then Machine.lambda machine t.proc.(u) dst
+            else max_int
+          in
+          let best = ref best in
+          for i = t.rep_off.(u) to t.rep_off.(u + 1) - 1 do
+            if t.rep_step.(i) <= phase then begin
+              let lam = Machine.lambda machine t.rep_proc.(i) dst in
+              if lam < !best then begin
+                best := lam;
+                src := t.rep_proc.(i)
+              end
+            end
+          done;
+          acc := { node = u; src = !src; dst; step = phase } :: !acc
+        end
+      done
+    done;
+    !acc
+  end
+
+let with_lazy_comm_replicated machine t =
+  { t with comm = lazy_comm_replicated machine t }
+
+let of_assignment_replicated machine dag ~proc ~step ~replicas =
+  let t = make_replicated dag ~proc ~step ~comm:[] ~replicas in
+  { t with comm = lazy_comm_replicated machine t }
+
+let drop_replicas t = of_assignment t.dag ~proc:t.proc ~step:t.step
 
 let assignment_valid dag ~proc ~step =
   let ok = ref true in
@@ -78,33 +272,93 @@ let used_supersteps t =
   else begin
     let used = Array.make s false in
     Array.iter (fun x -> used.(x) <- true) t.step;
+    let extras = num_replicas t in
+    for i = 0 to extras - 1 do
+      used.(t.rep_step.(i)) <- true
+    done;
     Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 used
   end
 
-let compact t =
+(* Compacting removes supersteps in which nothing is computed (by a
+   primary or a replica). The communication schedule is preserved by
+   renumbering event phases: an event in phase [s] is re-issued in the
+   phase of the last surviving superstep <= s, which keeps it after its
+   source's computation and before its consumers' — for a lazy [comm]
+   this coincides exactly with re-deriving the lazy schedule on the
+   renumbered assignment. [~relazy:true] restores the historical
+   behaviour of discarding [comm] and re-deriving it lazily (replica-free
+   schedules only). *)
+let compact ?(relazy = false) t =
   let s = num_supersteps t in
   if s = 0 then t
   else begin
     let used = Array.make s false in
     Array.iter (fun x -> used.(x) <- true) t.step;
+    let extras = num_replicas t in
+    for i = 0 to extras - 1 do
+      used.(t.rep_step.(i)) <- true
+    done;
     let remap = Array.make s 0 in
     let next = ref 0 in
     for i = 0 to s - 1 do
       remap.(i) <- !next;
       if used.(i) then incr next
     done;
+    let new_steps = !next in
     let step = Array.map (fun x -> remap.(x)) t.step in
-    of_assignment t.dag ~proc:t.proc ~step
+    if relazy then begin
+      if has_replicas t then
+        invalid_arg "Schedule.compact: ~relazy:true on a replicated schedule";
+      of_assignment t.dag ~proc:t.proc ~step
+    end
+    else begin
+      (* Phase [ph] maps to the index of the last used superstep <= ph
+         (clamped to phase 0 for events before any computation; phases
+         past the old horizon keep their offset past the new one). *)
+      let phase_remap ph =
+        if ph >= s then ph - (s - new_steps)
+        else begin
+          let r = remap.(ph) + (if used.(ph) then 0 else -1) in
+          if r < 0 then 0 else r
+        end
+      in
+      let comm =
+        List.map
+          (fun (e : comm_event) -> { e with step = phase_remap e.step })
+          t.comm
+      in
+      let rep_step = Array.map (fun x -> remap.(x)) t.rep_step in
+      {
+        t with
+        proc = Array.copy t.proc;
+        step;
+        comm;
+        rep_step;
+        rep_off = Array.copy t.rep_off;
+        rep_proc = Array.copy t.rep_proc;
+      }
+    end
   end
 
 let copy t =
-  { t with proc = Array.copy t.proc; step = Array.copy t.step }
+  {
+    t with
+    proc = Array.copy t.proc;
+    step = Array.copy t.step;
+    rep_off = Array.copy t.rep_off;
+    rep_proc = Array.copy t.rep_proc;
+    rep_step = Array.copy t.rep_step;
+  }
 
 let pp fmt t =
-  Format.fprintf fmt "@[<v>schedule: %d nodes, %d supersteps, %d comm events@,"
+  Format.fprintf fmt "@[<v>schedule: %d nodes, %d supersteps, %d comm events"
     (Dag.n t.dag) (num_supersteps t) (List.length t.comm);
+  if has_replicas t then Format.fprintf fmt ", %d replicas" (num_replicas t);
+  Format.fprintf fmt "@,";
   for v = 0 to Dag.n t.dag - 1 do
-    Format.fprintf fmt "  node %d -> proc %d, step %d@," v t.proc.(v) t.step.(v)
+    Format.fprintf fmt "  node %d -> proc %d, step %d@," v t.proc.(v) t.step.(v);
+    iter_replicas t v (fun q s ->
+        Format.fprintf fmt "  node %d => replica on proc %d, step %d@," v q s)
   done;
   List.iter
     (fun e ->

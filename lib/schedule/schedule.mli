@@ -14,6 +14,22 @@
     the computation phase of superstep [s + 1]. A value sent in phase [s]
     is available on the destination from superstep [s + 1] onwards.
 
+    {b Replication.} Beyond the paper's model, a node may additionally be
+    {e replicated}: recomputed on further processors so that consumers
+    there read a local copy instead of receiving the value over the
+    network (cf. Papp et al., "Replication in Graph Partitioning and
+    Scheduling Problems"). The primary [proc]/[step] arrays stay the
+    canonical copy — every fast path that ignores replication keeps
+    working on them unchanged — while the extra replicas live in a flat
+    CSR-style side table ([rep_off]/[rep_proc]/[rep_step]): the replicas
+    of node [v] occupy indices [rep_off.(v) .. rep_off.(v+1) - 1], sorted
+    by processor. A replica-free schedule has an all-zero [rep_off] and
+    empty payload arrays, so the representation costs nothing on the
+    common path. Replica work is charged like primary work
+    (see {!Bsp_cost}); an edge is satisfied if {e any} placement of the
+    source is present in time on the consumer's processor
+    (see {!Validity}).
+
     The schedule owns a reference to its DAG so validity and cost can be
     queried without re-threading the graph everywhere. *)
 
@@ -26,19 +42,61 @@ type comm_event = {
 
 type t = {
   dag : Dag.t;
-  proc : int array;  (** [pi]: node -> processor *)
-  step : int array;  (** [tau]: node -> superstep *)
+  proc : int array;  (** [pi]: node -> processor (primary placement) *)
+  step : int array;  (** [tau]: node -> superstep (primary placement) *)
   comm : comm_event list;  (** [Gamma] *)
+  rep_off : int array;
+      (** CSR offsets into [rep_proc]/[rep_step]; length [n + 1]. *)
+  rep_proc : int array;  (** replica processors, sorted per node *)
+  rep_step : int array;  (** replica supersteps, parallel to [rep_proc] *)
 }
 
 val make : Dag.t -> proc:int array -> step:int array -> comm:comm_event list -> t
-(** Bundle an assignment with an explicit communication schedule. Array
-    lengths must match the DAG; entries are not otherwise validated (use
-    {!Validity}). The arrays are copied. *)
+(** Bundle an assignment with an explicit communication schedule and no
+    replicas. Array lengths must match the DAG; entries are not otherwise
+    validated (use {!Validity}). The arrays are copied. *)
+
+val make_replicated :
+  Dag.t ->
+  proc:int array ->
+  step:int array ->
+  comm:comm_event list ->
+  replicas:(int * int * int) list ->
+  t
+(** Like {!make} with an explicit replica list of [(node, proc, step)]
+    triples. Replicas are sorted by [(node, proc)] into the CSR side
+    table, so downstream iteration order does not depend on the order the
+    caller discovered them in. Raises [Invalid_argument] on out-of-range
+    entries, on a replica duplicating the node's primary placement, and
+    on duplicate [(node, proc)] pairs. *)
+
+(** {1 Replica accessors} *)
+
+val num_replicas : t -> int
+(** Total number of extra replicas (0 for a plain schedule). *)
+
+val has_replicas : t -> bool
+
+val replicas : t -> int -> (int * int) list
+(** [(proc, step)] of the extra replicas of a node, sorted by processor.
+    Does not include the primary placement. *)
+
+val iter_replicas : t -> int -> (int -> int -> unit) -> unit
+(** [iter_replicas t v f] applies [f proc step] to each extra replica of
+    [v], in ascending processor order. Allocation-free. *)
+
+val iter_placements : t -> int -> (int -> int -> unit) -> unit
+(** Like {!iter_replicas} but visiting the primary placement first. *)
+
+val placement_step_on : t -> int -> int -> int
+(** [placement_step_on t u q] is the earliest superstep at which any
+    placement of [u] (primary or replica) exists on processor [q], or
+    [max_int] if [u] is not placed on [q]. *)
 
 val num_supersteps : t -> int
-(** [1 + max tau] over nodes (0 for the empty DAG), also covering every
-    communication phase used by a valid schedule. *)
+(** [1 + max tau] over all placements, primary and replica (0 for the
+    empty DAG), also covering every communication phase used by a valid
+    schedule. *)
 
 val trivial : Dag.t -> t
 (** Everything on processor 0 in superstep 0 with no communication — the
@@ -56,26 +114,64 @@ val trivial : Dag.t -> t
     once per destination). *)
 
 val lazy_comm : Dag.t -> proc:int array -> step:int array -> comm_event list
+(** Replica-unaware lazy schedule of a plain assignment. *)
+
+val lazy_comm_replicated : Machine.t -> t -> comm_event list
+(** Replica-aware lazy schedule: a consumer placement is locally
+    satisfied when some placement of the predecessor sits on its
+    processor at an earlier-or-equal step; each remaining (value,
+    destination) need is served once, in the last possible phase, from
+    the placement minimising [lambda (src, dst)] among those computed in
+    time (ties: primary first, then lowest replica processor). With an
+    empty replica table this is exactly [lazy_comm]. Ignores [t.comm]. *)
 
 val of_assignment : Dag.t -> proc:int array -> step:int array -> t
 (** Assignment plus its lazy communication schedule. Arrays are copied. *)
 
+val of_assignment_replicated :
+  Machine.t ->
+  Dag.t ->
+  proc:int array ->
+  step:int array ->
+  replicas:(int * int * int) list ->
+  t
+(** Replicated assignment plus its replica-aware lazy communication
+    schedule ({!lazy_comm_replicated}). *)
+
 val with_lazy_comm : t -> t
-(** Replace [comm] by the lazy schedule of the assignment. *)
+(** Replace [comm] by the lazy schedule of the assignment. Raises
+    [Invalid_argument] on a replicated schedule — use
+    {!with_lazy_comm_replicated} there, which needs the machine's
+    [lambda] to pick senders. *)
+
+val with_lazy_comm_replicated : Machine.t -> t -> t
+(** Replace [comm] by the replica-aware lazy schedule. *)
+
+val drop_replicas : t -> t
+(** Forget all replicas and re-derive the (plain) lazy communication
+    schedule of the primary assignment. *)
 
 val assignment_valid : Dag.t -> proc:int array -> step:int array -> bool
 (** An assignment admits a (lazy) communication schedule iff every edge
     [(u, v)] satisfies [step u <= step v] when on the same processor and
     [step u < step v] when on different processors. *)
 
-val compact : t -> t
-(** Remove supersteps to which no node is assigned, renumbering the rest
-    and re-deriving the lazy communication schedule. Intended for
-    schedules whose [comm] is (semantically) lazy; a hand-optimised
-    [Gamma] would be discarded. *)
+val compact : ?relazy:bool -> t -> t
+(** Remove supersteps in which nothing is computed (by a primary node or
+    a replica), renumbering the remaining ones. By default the
+    communication schedule is {e preserved}: each event's phase is
+    renumbered to the last surviving superstep at or before it, which
+    keeps the event after its source's computation and before its
+    consumers' first use — for a (semantically) lazy [comm] this
+    coincides exactly with re-deriving the lazy schedule, and for a
+    hand-optimised [Gamma] (e.g. from {!Hccs}) the optimisation survives.
+    [~relazy:true] restores the historical behaviour of discarding [comm]
+    and re-deriving the lazy schedule of the renumbered assignment; it is
+    only meaningful for replica-free schedules and raises
+    [Invalid_argument] otherwise. *)
 
 val used_supersteps : t -> int
-(** Number of distinct supersteps that actually contain nodes. *)
+(** Number of distinct supersteps that contain at least one placement. *)
 
 val copy : t -> t
 (** Deep copy (fresh arrays; the DAG is shared, being immutable). *)

@@ -1,8 +1,23 @@
+(* The v2 marker is a comment line, so v1 readers that strip comments
+   would still parse the assignment and events of a v2 file; only the
+   replica lines are new. We nevertheless keep emitting the v1 format
+   for replica-free schedules so byte-identical outputs are preserved
+   for every pre-replication workflow. *)
+let v2_marker = "% bsp schedule v2"
+
 let to_string (t : Schedule.t) =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "% bsp schedule: node/proc/superstep, then comm events\n";
   let n = Dag.n t.Schedule.dag in
-  Buffer.add_string buf (Printf.sprintf "%d %d\n" n (List.length t.Schedule.comm));
+  let num_reps = Schedule.num_replicas t in
+  if num_reps = 0 then begin
+    Buffer.add_string buf "% bsp schedule: node/proc/superstep, then comm events\n";
+    Buffer.add_string buf (Printf.sprintf "%d %d\n" n (List.length t.Schedule.comm))
+  end
+  else begin
+    Buffer.add_string buf (v2_marker ^ ": node/proc/superstep, comm events, replicas\n");
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d %d\n" n (List.length t.Schedule.comm) num_reps)
+  end;
   for v = 0 to n - 1 do
     Buffer.add_string buf
       (Printf.sprintf "%d %d %d\n" v t.Schedule.proc.(v) t.Schedule.step.(v))
@@ -11,14 +26,25 @@ let to_string (t : Schedule.t) =
     (fun (e : Schedule.comm_event) ->
       Buffer.add_string buf (Printf.sprintf "%d %d %d %d\n" e.node e.src e.dst e.step))
     t.Schedule.comm;
+  if num_reps > 0 then
+    for v = 0 to n - 1 do
+      Schedule.iter_replicas t v (fun q s ->
+          Buffer.add_string buf (Printf.sprintf "%d %d %d\n" v q s))
+    done;
   Buffer.contents buf
 
 let of_string dag text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '%')
+  let raw_lines = String.split_on_char '\n' text |> List.map String.trim in
+  (* Version detection must look at comment lines before they are
+     stripped: the version marker is itself a comment. *)
+  let v2 =
+    List.exists
+      (fun l ->
+        String.length l >= String.length v2_marker
+        && String.sub l 0 (String.length v2_marker) = v2_marker)
+      raw_lines
   in
+  let lines = List.filter (fun l -> l <> "" && l.[0] <> '%') raw_lines in
   let ints line =
     String.split_on_char ' ' line
     |> List.filter (fun s -> s <> "")
@@ -30,13 +56,24 @@ let of_string dag text =
   match lines with
   | [] -> failwith "Schedule_io: empty input"
   | header :: rest ->
-    let n, num_events =
-      match ints header with
-      | [ n; e ] -> (n, e)
-      | _ -> failwith "Schedule_io: header must be <nodes> <events>"
+    let n, num_events, num_reps =
+      match (ints header, v2) with
+      | [ n; e ], false -> (n, e, 0)
+      | [ n; e; r ], true -> (n, e, r)
+      | _, false -> failwith "Schedule_io: header must be <nodes> <events>"
+      | _, true -> failwith "Schedule_io: v2 header must be <nodes> <events> <replicas>"
     in
     if n <> Dag.n dag then failwith "Schedule_io: node count does not match the DAG";
-    if List.length rest < n + num_events then failwith "Schedule_io: truncated file";
+    let expected = n + num_events + num_reps in
+    let got = List.length rest in
+    if got < expected then failwith "Schedule_io: truncated file";
+    if got > expected then
+      failwith
+        (Printf.sprintf
+           "Schedule_io: %d trailing non-comment line(s) after the declared %d \
+            assignment + %d event%s line(s)"
+           (got - expected) n num_events
+           (if num_reps > 0 then Printf.sprintf " + %d replica" num_reps else ""));
     let proc = Array.make n 0 and step = Array.make n 0 in
     List.iteri
       (fun i line ->
@@ -54,7 +91,17 @@ let of_string dag text =
              | [ node; src; dst; phase ] -> { Schedule.node; src; dst; step = phase }
              | _ -> failwith "Schedule_io: bad comm event line")
     in
-    Schedule.make dag ~proc ~step ~comm:events
+    if num_reps = 0 then Schedule.make dag ~proc ~step ~comm:events
+    else begin
+      let replicas =
+        List.filteri (fun i _ -> i >= n + num_events) rest
+        |> List.map (fun line ->
+               match ints line with
+               | [ v; q; s ] when v >= 0 && v < n -> (v, q, s)
+               | _ -> failwith "Schedule_io: bad replica line")
+      in
+      Schedule.make_replicated dag ~proc ~step ~comm:events ~replicas
+    end
 
 let write oc t = output_string oc (to_string t)
 

@@ -3,9 +3,14 @@ let to_string ?(max_nodes_per_cell = 6) machine (t : Schedule.t) =
   let p = machine.Machine.p in
   let num_steps = Schedule.num_supersteps t in
   let b = Bsp_cost.breakdown machine t in
+  let replica_note =
+    if Schedule.has_replicas t then
+      Printf.sprintf ", %d replicas" (Schedule.num_replicas t)
+    else ""
+  in
   Buffer.add_string buf
-    (Printf.sprintf "schedule: %d nodes, %d supersteps, %d processors, cost %d\n"
-       (Dag.n t.Schedule.dag) num_steps p b.Bsp_cost.total);
+    (Printf.sprintf "schedule: %d nodes, %d supersteps, %d processors, cost %d%s\n"
+       (Dag.n t.Schedule.dag) num_steps p b.Bsp_cost.total replica_note);
   (* Per-processor utilisation summary, from the attribution profile. *)
   let prof = Profile.compute machine t in
   for q = 0 to p - 1 do
@@ -15,15 +20,19 @@ let to_string ?(max_nodes_per_cell = 6) machine (t : Schedule.t) =
          prof.Profile.proc_work.(q) prof.Profile.proc_idle.(q) prof.Profile.proc_send.(q)
          prof.Profile.proc_recv.(q))
   done;
-  (* Nodes per (superstep, processor). *)
+  (* Nodes per (superstep, processor); replica placements are rendered
+     with an [r] suffix after the primary copies of the same node. *)
   let cells = Array.make_matrix num_steps p [] in
-  for v = Dag.n t.Schedule.dag - 1 downto 0 do
+  for v = 0 to Dag.n t.Schedule.dag - 1 do
     cells.(t.Schedule.step.(v)).(t.Schedule.proc.(v)) <-
-      v :: cells.(t.Schedule.step.(v)).(t.Schedule.proc.(v))
+      string_of_int v :: cells.(t.Schedule.step.(v)).(t.Schedule.proc.(v));
+    Schedule.iter_replicas t v (fun q s ->
+        cells.(s).(q) <- (string_of_int v ^ "r") :: cells.(s).(q))
   done;
+  let cells = Array.map (Array.map List.rev) cells in
   let cell_text nodes =
     let shown = List.filteri (fun i _ -> i < max_nodes_per_cell) nodes in
-    let body = String.concat "," (List.map string_of_int shown) in
+    let body = String.concat "," shown in
     if List.length nodes > max_nodes_per_cell then body ^ ".." else body
   in
   for s = 0 to num_steps - 1 do

@@ -1,4 +1,8 @@
 let greedy machine (sched : Schedule.t) =
+  if Schedule.has_replicas sched then
+    invalid_arg
+      "Superstep_merge.greedy: replicated schedules are not supported \
+       (merge before replicating, or drop the replicas first)";
   let dag = sched.Schedule.dag in
   let lazy_sched = Schedule.with_lazy_comm sched in
   let cost_of step = Bsp_cost.total machine (Schedule.of_assignment dag ~proc:sched.Schedule.proc ~step) in

@@ -13,4 +13,7 @@
 
 val greedy : Machine.t -> Schedule.t -> Schedule.t
 (** Repeatedly merge a superstep into its predecessor while this is
-    valid and strictly decreases total cost; never worse than input. *)
+    valid and strictly decreases total cost; never worse than input.
+    Raises [Invalid_argument] on a replicated schedule: the merge
+    reasons about single placements only, so replication (a final
+    polish) must run after it. *)

@@ -47,12 +47,16 @@ let to_json machine (t : Schedule.t) =
   let prof = Profile.compute machine t in
   let p = prof.Profile.p in
   let g = machine.Machine.g and l = machine.Machine.l in
-  (* Node counts per (superstep, processor) for the slice tooltips. *)
+  (* Node counts per (superstep, processor) for the slice tooltips.
+     Replica placements count like primary ones: the slice durations
+     they annotate come from Bsp_cost.tables, which charges replica work
+     to the replica's own (superstep, processor) cell. *)
   let node_count = Array.make_matrix prof.Profile.num_supersteps p 0 in
-  Array.iteri
-    (fun v s ->
-      node_count.(s).(t.Schedule.proc.(v)) <- node_count.(s).(t.Schedule.proc.(v)) + 1)
-    t.Schedule.step;
+  for v = 0 to Dag.n t.Schedule.dag - 1 do
+    Schedule.iter_placements t v (fun q s ->
+        if s < prof.Profile.num_supersteps then
+          node_count.(s).(q) <- node_count.(s).(q) + 1)
+  done;
   let events = ref [] in
   let emit e = events := e :: !events in
   emit

@@ -18,6 +18,33 @@ let errors machine (t : Schedule.t) =
       err "node %d assigned to negative superstep %d" v t.step.(v)
     end
   done;
+  if Array.length t.rep_off <> n + 1 then begin
+    ranges_ok := false;
+    err "replica offset table has length %d, expected %d"
+      (Array.length t.rep_off) (n + 1)
+  end
+  else
+    for v = 0 to n - 1 do
+      let prev_q = ref (-1) in
+      Schedule.iter_replicas t v (fun q s ->
+          if q < 0 || q >= p then begin
+            ranges_ok := false;
+            err "replica of node %d on processor %d outside [0, %d)" v q p
+          end;
+          if s < 0 then begin
+            ranges_ok := false;
+            err "replica of node %d at negative superstep %d" v s
+          end;
+          if q = t.proc.(v) then begin
+            ranges_ok := false;
+            err "replica of node %d duplicates its primary processor %d" v q
+          end;
+          if q = !prev_q then begin
+            ranges_ok := false;
+            err "node %d has duplicate replicas on processor %d" v q
+          end;
+          prev_q := q)
+    done;
   List.iter
     (fun e ->
       if e.node < 0 || e.node >= n then begin
@@ -51,26 +78,34 @@ let errors machine (t : Schedule.t) =
         (fun acc (d, s) -> if d = dst && (acc < 0 || s < acc) then s else acc)
         (-1) arrival.(v)
     in
-    (* Condition 1: precedence constraints. *)
+    (* Condition 1: precedence constraints, for every placement of the
+       consumer. The value of u is present on processor q at superstep s
+       when some placement (primary or replica) of u sits on q at a step
+       <= s, or some event delivered it to q in a phase < s. Replicas
+       are consumers too: each must have all its inputs available. *)
+    let present u q s =
+      Schedule.placement_step_on t u q <= s
+      ||
+      let a = earliest_arrival u q in
+      a >= 0 && a < s
+    in
     Dag.iter_edges dag (fun u v ->
-        if t.proc.(u) = t.proc.(v) then begin
-          if t.step.(u) > t.step.(v) then
-            err "edge (%d,%d) on processor %d goes backwards in supersteps (%d > %d)" u v
-              t.proc.(u) t.step.(u) t.step.(v)
-        end
-        else begin
-          let a = earliest_arrival u t.proc.(v) in
-          if a < 0 || a >= t.step.(v) then
-            err
-              "edge (%d,%d): value of %d is not delivered to processor %d before superstep %d"
-              u v u t.proc.(v) t.step.(v)
-        end);
+        Schedule.iter_placements t v (fun q s ->
+            if not (present u q s) then
+              if q = t.proc.(v) && s = t.step.(v) then
+                err
+                  "edge (%d,%d): value of %d is not available on processor %d before superstep %d"
+                  u v u q s
+              else
+                err
+                  "edge (%d,%d): value of %d is not available for the replica of %d on processor %d at superstep %d"
+                  u v u v q s));
     (* Condition 2: every sent value is present at its source. An event
-       (v, p1, p2, s) needs pi v = p1 and tau v <= s, or an earlier event
-       delivering v to p1. *)
+       (v, p1, p2, s) needs a placement of v on p1 with tau <= s, or an
+       earlier event delivering v to p1. *)
     List.iter
       (fun e ->
-        let computed_here = t.proc.(e.node) = e.src && t.step.(e.node) <= e.step in
+        let computed_here = Schedule.placement_step_on t e.node e.src <= e.step in
         let relayed =
           List.exists (fun (d, s) -> d = e.src && s < e.step) arrival.(e.node)
         in

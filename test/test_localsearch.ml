@@ -118,6 +118,81 @@ let test_hccs_noop_when_no_freedom () =
   check "no moves" 0 stats.Hccs.moves_applied;
   check_bool "valid" true (Validity.is_valid m improved)
 
+(* A NUMA broadcast where replication pays: two 2-processor clusters
+   (lambda 1 inside, 4 across), node 0 (w=1, c=2) on p0 feeding a heavy
+   consumer on every other processor. Mirrors the test_schedule fixture. *)
+let broadcast_machine () =
+  Machine.explicit ~g:1 ~l:5
+    ~lambda:
+      [| [| 0; 1; 4; 4 |]; [| 1; 0; 4; 4 |]; [| 4; 4; 0; 1 |]; [| 4; 4; 1; 0 |] |]
+
+let broadcast_dag () =
+  Dag.of_edges ~n:4
+    ~edges:[ (0, 1); (0, 2); (0, 3) ]
+    ~work:[| 1; 1; 1; 1 |] ~comm:[| 2; 1; 1; 1 |]
+
+let broadcast_schedule dag = Schedule.of_assignment dag ~proc:[| 0; 1; 2; 3 |] ~step:[| 0; 1; 1; 1 |]
+
+let test_replicate_schedule_broadcast () =
+  (* The replication-only pass must discover the cluster-mirror replica:
+     replicating node 0 onto the far cluster collapses the h-relation
+     from 18 to 2 (cost 30 -> 14). *)
+  let m = broadcast_machine () in
+  let dag = broadcast_dag () in
+  let s = broadcast_schedule dag in
+  check "input cost" 30 (Bsp_cost.total m s);
+  let r = Hc.replicate_schedule ~check:true m s in
+  check_bool "valid" true (Validity.is_valid m r);
+  check "replicated cost" 14 (Bsp_cost.total m r);
+  check "one replica" 1 (Schedule.num_replicas r);
+  Alcotest.(check (list (pair int int))) "on the far cluster" [ (2, 0) ]
+    (Schedule.replicas r 0);
+  (match Profile.reconcile (Profile.compute m r) (Bsp_cost.breakdown m r) with
+   | Ok () -> ()
+   | Error msg -> Alcotest.fail ("profile does not reconcile: " ^ msg));
+  (* The state also ingests the replicated schedule it produced. *)
+  let st = Assignment_state.init m r in
+  check "ingested replicas" 1 (Assignment_state.num_replicas_total st);
+  check "ingested cost" (Bsp_cost.total m r) (Assignment_state.total_cost st);
+  Assignment_state.check_consistent st;
+  let snap = Assignment_state.snapshot st in
+  Alcotest.(check (list (pair int int))) "snapshot keeps replicas" [ (2, 0) ]
+    (Schedule.replicas snap 0);
+  Assignment_state.release st
+
+let test_replication_guards () =
+  (* Single-node moves and replication never interleave: once the state
+     holds replicas the move entry points must refuse to run, and the
+     move engine must refuse replicated input outright. *)
+  let m = broadcast_machine () in
+  let dag = broadcast_dag () in
+  let st = Assignment_state.init m (broadcast_schedule dag) in
+  check_bool "replication candidate valid" true (Assignment_state.valid_replicate st 0 2);
+  let d = Assignment_state.delta_cost_replicate st 0 2 in
+  check "delta is the 16-unit comm saving" (-16) d;
+  Assignment_state.apply_replicate st 0 2;
+  let expect_invalid label f =
+    try
+      f ();
+      Alcotest.fail (label ^ " ran on a replicated state")
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "delta_cost" (fun () ->
+      ignore (Assignment_state.delta_cost st 1 0 1 : int));
+  expect_invalid "apply_move" (fun () -> Assignment_state.apply_move st 1 0 1);
+  (* A just-added replica is always droppable; dropping restores cost. *)
+  check_bool "droppable" true (Assignment_state.valid_drop_replica st 0 2);
+  check "drop undoes the delta" (-d) (Assignment_state.delta_cost_drop_replica st 0 2);
+  Assignment_state.apply_drop_replica st 0 2;
+  Assignment_state.check_consistent st;
+  Assignment_state.release st;
+  let rep =
+    Schedule.of_assignment_replicated m dag ~proc:[| 0; 1; 2; 3 |]
+      ~step:[| 0; 1; 1; 1 |] ~replicas:[ (0, 2, 0) ]
+  in
+  expect_invalid "Hc.improve on replicated input" (fun () ->
+      ignore (Hc.improve m rep : Schedule.t * Hc.stats))
+
 (* Properties over random instances. *)
 let gen3 =
   QCheck2.Gen.(pair (Test_util.arb_dag ()) (pair (Test_util.arb_machine ()) (int_bound 100_000)))
@@ -209,6 +284,83 @@ let prop_delta_matches_apply =
         done;
       !ok)
 
+(* Drive the state through random replicate/drop sequences: every
+   read-only replication delta must predict the applied cost change
+   exactly, dropping a fresh replica must refund it exactly, and the
+   running total must match the from-scratch cost of a valid,
+   reconciling snapshot throughout. *)
+let prop_replicate_delta_matches_apply =
+  Test_util.qtest ~count:40 "replication delta matches apply" gen3
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let p = m.Machine.p in
+      let n = Dag.n dag in
+      let s = start_schedule rng dag p in
+      let st = Assignment_state.init m s in
+      let ok = ref true in
+      if n > 0 && p > 1 then
+        for _trial = 1 to 20 do
+          let v = Rng.int rng n in
+          let q = Rng.int rng p in
+          if Assignment_state.valid_replicate st v q then begin
+            let d = Assignment_state.delta_cost_replicate st v q in
+            let before = Assignment_state.total_cost st in
+            Assignment_state.apply_replicate st v q;
+            if Assignment_state.total_cost st <> before + d then ok := false;
+            Assignment_state.check_consistent st;
+            let snap = Assignment_state.snapshot st in
+            let trailing =
+              Assignment_state.num_steps st - Schedule.num_supersteps snap
+            in
+            if
+              Assignment_state.total_cost st
+              <> Bsp_cost.total m snap + (m.Machine.l * trailing)
+            then ok := false;
+            if not (Validity.is_valid m snap) then ok := false;
+            (match
+               Profile.reconcile (Profile.compute m snap) (Bsp_cost.breakdown m snap)
+             with
+            | Ok () -> ()
+            | Error _ -> ok := false);
+            (* Half the time, drop it again: the drop delta must be the
+               exact refund of the replicate delta. *)
+            if Rng.int rng 2 = 0 then begin
+              if not (Assignment_state.valid_drop_replica st v q) then ok := false
+              else begin
+                if Assignment_state.delta_cost_drop_replica st v q <> -d then
+                  ok := false;
+                Assignment_state.apply_drop_replica st v q;
+                if Assignment_state.total_cost st <> before then ok := false;
+                Assignment_state.check_consistent st
+              end
+            end
+          end
+        done;
+      Assignment_state.release st;
+      !ok)
+
+(* The move phase is identical with and without replication (the phase
+   runs strictly after move convergence and only applies strict
+   improvements), so enabling it can never produce a worse schedule; the
+   reported cost stays exact and the result valid and reconciling. *)
+let prop_hc_replicate_never_worse =
+  Test_util.qtest ~count:40 "hc with replication monotone + valid" gen3
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let s = start_schedule rng dag m.Machine.p in
+      let _, plain = Hc.improve ~check:true m s in
+      let rep_sched, rep = Hc.improve ~check:true ~replicate:true m s in
+      Validity.is_valid m rep_sched
+      && rep.Hc.final_cost <= plain.Hc.final_cost
+      && Bsp_cost.total m rep_sched = rep.Hc.final_cost
+      && (rep.Hc.replicas_added > 0 || rep.Hc.final_cost = plain.Hc.final_cost)
+      && (match
+            Profile.reconcile (Profile.compute m rep_sched)
+              (Bsp_cost.breakdown m rep_sched)
+          with
+         | Ok () -> true
+         | Error _ -> false))
+
 let () =
   Alcotest.run "localsearch"
     [
@@ -224,6 +376,9 @@ let () =
           Alcotest.test_case "hccs hides traffic behind peak" `Quick
             test_hccs_hides_traffic_behind_peak;
           Alcotest.test_case "hccs no freedom" `Quick test_hccs_noop_when_no_freedom;
+          Alcotest.test_case "replicate_schedule on a NUMA broadcast" `Quick
+            test_replicate_schedule_broadcast;
+          Alcotest.test_case "replication guards" `Quick test_replication_guards;
         ] );
       ( "property",
         [
@@ -231,5 +386,7 @@ let () =
           prop_hccs_never_worse_and_valid;
           prop_hc_final_cost_exact;
           prop_delta_matches_apply;
+          prop_replicate_delta_matches_apply;
+          prop_hc_replicate_never_worse;
         ] );
     ]

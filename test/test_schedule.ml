@@ -136,6 +136,145 @@ let test_compact () =
   let m = Machine.uniform ~p:2 ~g:1 ~l:5 in
   check_bool "compact cheaper" true (Bsp_cost.total m c < Bsp_cost.total m s)
 
+(* A NUMA broadcast where replication pays: two 2-processor clusters,
+   cheap intra-cluster links (lambda 1) and an expensive inter-cluster
+   link (lambda 4). Node 0 (w=1, c=2) on p0 feeds one consumer on every
+   other processor at step 1. *)
+let broadcast_machine () =
+  Machine.explicit ~g:1 ~l:5
+    ~lambda:
+      [| [| 0; 1; 4; 4 |]; [| 1; 0; 4; 4 |]; [| 4; 4; 0; 1 |]; [| 4; 4; 1; 0 |] |]
+
+let broadcast_dag () =
+  Dag.of_edges ~n:4
+    ~edges:[ (0, 1); (0, 2); (0, 3) ]
+    ~work:[| 1; 1; 1; 1 |] ~comm:[| 2; 1; 1; 1 |]
+
+let test_replicated_cost_numa () =
+  let m = broadcast_machine () in
+  let dag = broadcast_dag () in
+  let proc = [| 0; 1; 2; 3 |] and step = [| 0; 1; 1; 1 |] in
+  (* Without replication p0 broadcasts to everyone: sends of volume
+     2*1 + 2*4 + 2*4 = 18, so superstep 0 costs 1 + 18 + 5 = 24 and
+     superstep 1 costs 1 + 0 + 5 = 6. *)
+  let plain = Schedule.of_assignment dag ~proc ~step in
+  check_bool "plain valid" true (Validity.is_valid m plain);
+  check "plain cost" 30 (Bsp_cost.total m plain);
+  (* Replicating node 0 onto p2 satisfies p2 locally and lets p3 fetch
+     from its cluster neighbour: the remaining events are 0 -> p1 (from
+     p0, volume 2) and 0 -> p3 (from the p2 replica, volume 2), so the
+     h-relation collapses from 18 to 2. *)
+  let rep =
+    Schedule.of_assignment_replicated m dag ~proc ~step ~replicas:[ (0, 2, 0) ]
+  in
+  check_bool "replicated valid" true (Validity.is_valid m rep);
+  check "replica count" 1 (Schedule.num_replicas rep);
+  check "two events left" 2 (List.length rep.Schedule.comm);
+  (* The p2 replica's copy must be the cheaper source for p3. *)
+  check_bool "p3 served from the replica" true
+    (List.exists
+       (fun (e : Schedule.comm_event) -> e.node = 0 && e.src = 2 && e.dst = 3)
+       rep.Schedule.comm);
+  let b = Bsp_cost.breakdown m rep in
+  (* Replica work rides in the same work phase: max stays 1. *)
+  check "s0 work" 1 b.Bsp_cost.supersteps.(0).Bsp_cost.work_max;
+  check "s0 h-relation" 2 b.Bsp_cost.supersteps.(0).Bsp_cost.comm_max;
+  check "replicated cost" 14 b.Bsp_cost.total;
+  (* Profile attributes the replica and still reconciles exactly. *)
+  let prof = Profile.compute m rep in
+  check "profile replicas" 1 prof.Profile.num_replicas;
+  check "profile replica work" 1 prof.Profile.replica_work;
+  (match Profile.reconcile prof b with
+   | Ok () -> ()
+   | Error msg -> Alcotest.fail ("profile does not reconcile: " ^ msg))
+
+let test_replica_needs_own_inputs () =
+  (* A replica is a real recomputation: it must receive the node's
+     inputs like any primary placement would. *)
+  let dag = Test_util.chain 2 in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:1 in
+  (* Replicating node 1 on p1 without shipping node 0 there is invalid. *)
+  let starved =
+    Schedule.make_replicated dag ~proc:[| 0; 0 |] ~step:[| 0; 1 |] ~comm:[]
+      ~replicas:[ (1, 1, 1) ]
+  in
+  check_bool "starved replica invalid" false (Validity.is_valid m starved);
+  (* Feeding it in phase 0 makes the same schedule valid. *)
+  let fed =
+    Schedule.make_replicated dag ~proc:[| 0; 0 |] ~step:[| 0; 1 |]
+      ~comm:[ { Schedule.node = 0; src = 0; dst = 1; step = 0 } ]
+      ~replicas:[ (1, 1, 1) ]
+  in
+  check_bool "fed replica valid" true (Validity.is_valid m fed);
+  (* And the replica-aware lazy derivation generates that event itself. *)
+  let lazy_fed =
+    Schedule.of_assignment_replicated m dag ~proc:[| 0; 0 |] ~step:[| 0; 1 |]
+      ~replicas:[ (1, 1, 1) ]
+  in
+  check_bool "lazy replica input valid" true (Validity.is_valid m lazy_fed);
+  check "lazy ships the input" 1 (List.length lazy_fed.Schedule.comm)
+
+let test_make_replicated_rejects () =
+  let dag = Test_util.chain 2 in
+  let expect_invalid label replicas =
+    try
+      ignore
+        (Schedule.make_replicated dag ~proc:[| 0; 0 |] ~step:[| 0; 1 |] ~comm:[]
+           ~replicas
+          : Schedule.t);
+      Alcotest.fail (label ^ " accepted")
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "replica duplicating the primary" [ (0, 0, 0) ];
+  expect_invalid "negative processor" [ (0, -1, 0) ];
+  expect_invalid "negative superstep" [ (0, 1, -1) ];
+  expect_invalid "duplicate (node, proc) pair" [ (0, 1, 0); (0, 1, 1) ]
+
+let test_compact_preserves_comm () =
+  (* An event placed earlier than its lazy phase (as HCcs does) must
+     survive compaction; only ~relazy:true re-derives the lazy phase. *)
+  let dag =
+    Dag.of_edges ~n:3 ~edges:[ (0, 1) ] ~work:[| 1; 1; 1 |] ~comm:[| 1; 1; 1 |]
+  in
+  let m = Machine.uniform ~p:2 ~g:1 ~l:1 in
+  let s =
+    Schedule.make dag ~proc:[| 0; 1; 0 |] ~step:[| 0; 3; 1 |]
+      ~comm:[ { Schedule.node = 0; src = 0; dst = 1; step = 0 } ]
+  in
+  check_bool "input valid" true (Validity.is_valid m s);
+  (* Steps 0, 1, 3 are used; step 2 is dropped, the consumer lands on
+     step 2 and the early event keeps phase 0. *)
+  let c = Schedule.compact s in
+  Alcotest.(check (array int)) "renumbered" [| 0; 2; 1 |] c.Schedule.step;
+  check_bool "compacted valid" true (Validity.is_valid m c);
+  check "event preserved" 1 (List.length c.Schedule.comm);
+  check "event keeps its early phase" 0 (List.hd c.Schedule.comm).Schedule.step;
+  let r = Schedule.compact ~relazy:true s in
+  check "relazy re-derives the lazy phase" 1 (List.hd r.Schedule.comm).Schedule.step;
+  check_bool "relazy valid" true (Validity.is_valid m r)
+
+let test_compact_replicated () =
+  let m = Machine.uniform ~p:2 ~g:1 ~l:3 in
+  let dag = Test_util.chain 2 in
+  (* Primary chain on p0 with a gap at step 1; a replica of node 0 sits
+     on p1 (no consumers — compaction must still renumber it). *)
+  let s =
+    Schedule.of_assignment_replicated m dag ~proc:[| 0; 0 |] ~step:[| 0; 2 |]
+      ~replicas:[ (0, 1, 0) ]
+  in
+  let c = Schedule.compact s in
+  Alcotest.(check (array int)) "renumbered" [| 0; 1 |] c.Schedule.step;
+  check "replica survives" 1 (Schedule.num_replicas c);
+  Alcotest.(check (list (pair int int)))
+    "replica placement" [ (1, 0) ] (Schedule.replicas c 0);
+  check_bool "valid" true (Validity.is_valid m c);
+  check_bool "cheaper" true (Bsp_cost.total m c < Bsp_cost.total m s);
+  (* relazy compaction is replica-free-only by contract. *)
+  (try
+     ignore (Schedule.compact ~relazy:true s : Schedule.t);
+     Alcotest.fail "relazy accepted a replicated schedule"
+   with Invalid_argument _ -> ())
+
 let test_classical_conversion () =
   let dag = Test_util.chain 3 in
   let cl = { Classical.proc = [| 0; 1; 0 |]; seq = [| 0; 1; 2 |] } in
@@ -193,6 +332,107 @@ let prop_lazy_valid =
       let s = Schedule.of_assignment dag ~proc ~step in
       Validity.is_valid m s)
 
+let test_schedule_io_v1_compat () =
+  (* A hand-written v1 file (no version marker, two-field header) must
+     still parse, and replica-free output must still be v1. *)
+  let dag = Test_util.chain 2 in
+  let text = "% bsp schedule\n2 1\n0 0 0\n1 1 1\n0 0 1 0\n" in
+  let s = Schedule_io.of_string dag text in
+  Alcotest.(check (array int)) "proc" [| 0; 1 |] s.Schedule.proc;
+  Alcotest.(check (array int)) "step" [| 0; 1 |] s.Schedule.step;
+  check "events" 1 (List.length s.Schedule.comm);
+  check "no replicas" 0 (Schedule.num_replicas s);
+  check_bool "replica-free output stays v1" false
+    (Test_util.contains_substring (Schedule_io.to_string s) "v2");
+  (* Trailing non-comment garbage is rejected, v1 and v2 alike. *)
+  (try
+     ignore (Schedule_io.of_string dag (text ^ "9 9 9\n") : Schedule.t);
+     Alcotest.fail "trailing garbage accepted"
+   with Failure _ -> ());
+  let rep =
+    Schedule.make_replicated dag ~proc:[| 0; 1 |] ~step:[| 0; 1 |]
+      ~comm:[ { Schedule.node = 0; src = 0; dst = 1; step = 0 } ]
+      ~replicas:[ (0, 1, 0) ]
+  in
+  let rep_text = Schedule_io.to_string rep in
+  check_bool "replicated output is v2" true
+    (Test_util.contains_substring rep_text "% bsp schedule v2");
+  (try
+     ignore (Schedule_io.of_string dag (rep_text ^ "9 9 9\n") : Schedule.t);
+     Alcotest.fail "v2 trailing garbage accepted"
+   with Failure _ -> ())
+
+(* Random replicated schedule: wavefront steps (so every predecessor is
+   strictly earlier, making any same-step replica feedable), random
+   primary processors, and a sparse sprinkle of replicas on other
+   processors. *)
+let random_replicated rng dag (m : Machine.t) =
+  let p = m.Machine.p in
+  let level = Dag.wavefronts dag in
+  let proc = Array.init (Dag.n dag) (fun _ -> Rng.int rng p) in
+  let step = Array.map (fun l -> 2 * l) level in
+  let replicas = ref [] in
+  if p > 1 then
+    for v = 0 to Dag.n dag - 1 do
+      if Rng.int rng 4 = 0 then begin
+        let q = Rng.int rng (p - 1) in
+        let q = if q >= proc.(v) then q + 1 else q in
+        replicas := (v, q, step.(v)) :: !replicas
+      end
+    done;
+  (proc, step, !replicas)
+
+let gen3 =
+  QCheck2.Gen.(
+    pair (Test_util.arb_dag ()) (pair (Test_util.arb_machine ()) (int_bound 10_000)))
+
+let prop_replicated_lazy_valid =
+  Test_util.qtest ~count:80 "replica-aware lazy schedule valid" gen3
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let proc, step, replicas = random_replicated rng dag m in
+      let s = Schedule.of_assignment_replicated m dag ~proc ~step ~replicas in
+      Validity.is_valid m s
+      && (match Profile.reconcile (Profile.compute m s) (Bsp_cost.breakdown m s) with
+          | Ok () -> true
+          | Error _ -> false))
+
+let prop_io_roundtrip =
+  Test_util.qtest ~count:80 "schedule_io round-trip" gen3 (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let proc, step, replicas = random_replicated rng dag m in
+      let s = Schedule.of_assignment_replicated m dag ~proc ~step ~replicas in
+      let text = Schedule_io.to_string s in
+      let s2 = Schedule_io.of_string dag text in
+      (* v1 for replica-free output, v2 marker otherwise. *)
+      Test_util.contains_substring text "% bsp schedule v2" = (replicas <> [])
+      && s2.Schedule.proc = s.Schedule.proc
+      && s2.Schedule.step = s.Schedule.step
+      && s2.Schedule.comm = s.Schedule.comm
+      && s2.Schedule.rep_off = s.Schedule.rep_off
+      && s2.Schedule.rep_proc = s.Schedule.rep_proc
+      && s2.Schedule.rep_step = s.Schedule.rep_step
+      && Bsp_cost.total m s2 = Bsp_cost.total m s)
+
+(* Collapsing every replica set back to its singleton primary must
+   reproduce the replication-free schedule — and its cost — exactly. *)
+let prop_collapse_replicas_exact =
+  Test_util.qtest ~count:80 "collapsing replicas restores the old cost" gen3
+    (fun (dag, (m, seed)) ->
+      let rng = Rng.create seed in
+      let proc, step, replicas = random_replicated rng dag m in
+      let s = Schedule.of_assignment_replicated m dag ~proc ~step ~replicas in
+      let collapsed = Schedule.drop_replicas s in
+      let plain = Schedule.of_assignment dag ~proc ~step in
+      let none = Schedule.of_assignment_replicated m dag ~proc ~step ~replicas:[] in
+      (not (Schedule.has_replicas collapsed))
+      && collapsed.Schedule.comm = plain.Schedule.comm
+      && Bsp_cost.total m collapsed = Bsp_cost.total m plain
+      (* The replica-aware lazy derivation degenerates exactly to the
+         plain one on an empty replica table. *)
+      && none.Schedule.comm = plain.Schedule.comm
+      && Bsp_cost.total m none = Bsp_cost.total m plain)
+
 let prop_compact_never_worse =
   Test_util.qtest "compact never increases cost"
     QCheck2.Gen.(pair (Test_util.arb_dag ()) (pair (Test_util.arb_machine ()) (int_bound 10_000)))
@@ -220,9 +460,23 @@ let () =
           Alcotest.test_case "send from absent" `Quick test_validity_send_from_absent;
           Alcotest.test_case "relay chain" `Quick test_validity_relay_chain;
           Alcotest.test_case "compact" `Quick test_compact;
+          Alcotest.test_case "replicated cost on NUMA" `Quick test_replicated_cost_numa;
+          Alcotest.test_case "replica needs its inputs" `Quick
+            test_replica_needs_own_inputs;
+          Alcotest.test_case "make_replicated rejects" `Quick test_make_replicated_rejects;
+          Alcotest.test_case "compact preserves comm" `Quick test_compact_preserves_comm;
+          Alcotest.test_case "compact replicated" `Quick test_compact_replicated;
+          Alcotest.test_case "schedule_io v1 compat" `Quick test_schedule_io_v1_compat;
           Alcotest.test_case "classical conversion" `Quick test_classical_conversion;
           Alcotest.test_case "render utilisation summary" `Quick test_render_summary;
           Alcotest.test_case "render without comm" `Quick test_render_no_comm;
         ] );
-      ("property", [ prop_lazy_valid; prop_compact_never_worse ]);
+      ( "property",
+        [
+          prop_lazy_valid;
+          prop_replicated_lazy_valid;
+          prop_io_roundtrip;
+          prop_collapse_replicas_exact;
+          prop_compact_never_worse;
+        ] );
     ]
