@@ -1075,7 +1075,7 @@ let localsearch () =
              d.Par.major_collections)
          par_domains)
   in
-  let oc = open_out "BENCH_localsearch.json" in
+  Atomic_file.write "BENCH_localsearch.json" @@ fun oc ->
   Printf.fprintf oc
     {|{
   "benchmark": "localsearch",
@@ -1139,8 +1139,116 @@ let localsearch () =
     Par.minor_heap_words (Dag.n ml_dag)
     (List.length ml_ratios) t_sweep_j1 t_sweep_jn sweep_speedup sweep_cost_j1 sweep_json
     domains_json;
-  close_out oc;
   Printf.printf "wrote BENCH_localsearch.json and BENCH_localsearch.metrics.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Serving: cold schedule vs content-addressed cache hit (DESIGN.md
+   Section 5h). Emits BENCH_server.json and hard-fails if the hit path
+   is not at least 100x faster than the cold path. *)
+
+let server () =
+  header "Schedule server: cold compute vs cache hit";
+  let target, budget =
+    match !scale with
+    | Datasets.Smoke -> (4_000, 2.0)
+    | Datasets.Default -> (12_000, 5.0)
+    | Datasets.Full -> (30_000, 10.0)
+  in
+  let rng = Rng.create !seed in
+  let dag =
+    Finegrained.generate_sized rng ~family:Finegrained.Exp ~shape:Finegrained.Wide
+      ~target
+  in
+  let machine = Machine.uniform ~p:8 ~g:3 ~l:5 in
+  let req id =
+    {
+      Server.Request.id;
+      algorithm = "pipeline";
+      seconds = budget;
+      seed = !seed;
+      replicate = false;
+      machine;
+      dag;
+    }
+  in
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.install reg;
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bsp-bench-cache.%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir cache_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.eprintf "[server] n=%d, budget=%.0fs, cold run...%!" (Dag.n dag) budget;
+  let cold, t_cold = time (fun () -> Server.Engine.handle ~cache_dir (req "cold")) in
+  assert (cold.Server.Engine.status = Server.Engine.Miss);
+  (* the hit path is pure IO (read meta + parse schedule); take the best
+     of a few reps so one unlucky page fault doesn't decide the number *)
+  let hit_reps = 5 in
+  let t_hit = ref infinity in
+  let hit = ref cold in
+  for i = 1 to hit_reps do
+    let r, t = time (fun () -> Server.Engine.handle ~cache_dir (req (Printf.sprintf "hit%d" i))) in
+    assert (r.Server.Engine.status = Server.Engine.Hit);
+    hit := r;
+    t_hit := Float.min !t_hit t
+  done;
+  let hit = !hit and t_hit = !t_hit in
+  Printf.eprintf " done\n%!";
+  let identical =
+    Schedule_io.to_string hit.Server.Engine.schedule
+    = Schedule_io.to_string cold.Server.Engine.schedule
+  in
+  let speedup = t_cold /. t_hit in
+  Printf.printf "instance: exp/wide, n=%d, P=8 g=3 l=5, budget=%.0fs\n" (Dag.n dag)
+    budget;
+  Printf.printf "cold (miss): %8.3fs   cost %d\n" t_cold cold.Server.Engine.cost;
+  Printf.printf "hit:         %8.5fs   cost %d (best of %d)\n" t_hit
+    hit.Server.Engine.cost hit_reps;
+  Printf.printf "speedup: %.0fx, bit-identical: %b\n" speedup identical;
+  Obs.Metrics.write_json_file reg "BENCH_server.metrics.json";
+  Atomic_file.write "BENCH_server.json" (fun oc ->
+      Printf.fprintf oc
+        {|{
+  "benchmark": "server",
+  "scale": "%s",
+  "seed": %d,
+  "instance": { "family": "exp", "shape": "wide", "nodes": %d },
+  "machine": { "p": 8, "g": 3, "l": 5 },
+  "seconds_budget": %.1f,
+  "key": "%s",
+  "cold_seconds": %.6f,
+  "hit_seconds": %.6f,
+  "hit_reps": %d,
+  "speedup": %.1f,
+  "cold_cost": %d,
+  "hit_cost": %d,
+  "bit_identical": %b
+}
+|}
+        (Datasets.scale_name !scale) !seed (Dag.n dag) budget cold.Server.Engine.key
+        t_cold t_hit hit_reps speedup cold.Server.Engine.cost hit.Server.Engine.cost
+        identical);
+  Printf.printf "wrote BENCH_server.json and BENCH_server.metrics.json\n";
+  (try
+     Array.iter
+       (fun e -> Sys.remove (Filename.concat cache_dir e))
+       (Sys.readdir cache_dir);
+     Unix.rmdir cache_dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  if hit.Server.Engine.cost <> cold.Server.Engine.cost || not identical then begin
+    Printf.printf "FAIL: cache hit is not bit-identical to the cold schedule\n";
+    exit 1
+  end;
+  if speedup < 100.0 then begin
+    Printf.printf "FAIL: cache hit only %.1fx faster than cold path (need >= 100x)\n"
+      speedup;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel stage timings (Section 8's running-time discussion).       *)
@@ -1368,6 +1476,7 @@ let sections =
     ("ablations", ablations);
     ("ls_smoke", ls_smoke);
     ("localsearch", localsearch);
+    ("server", server);
   ]
 
 let () =

@@ -24,7 +24,7 @@ let families =
     ("knn-coarse", Coarse Coarsegrained.Knn_coarse);
   ]
 
-let run family target matrix_n density iterations deep seed output =
+let run family target matrix_n density iterations deep seed binary output =
   let rng = Rng.create seed in
   let dag =
     match family with
@@ -51,7 +51,8 @@ let run family target matrix_n density iterations deep seed output =
        | Some target -> Coarsegrained.generate_sized algo ~target
        | None -> Coarsegrained.generate algo ~iterations)
   in
-  Hyperdag_io.write_file output dag;
+  if binary then Hyperdag_io.write_binary_file output dag
+  else Hyperdag_io.write_file output dag;
   Printf.printf "%s: %d nodes, %d edges, %d wavefronts, total work %d\n" output (Dag.n dag)
     (Dag.num_edges dag) (Dag.num_wavefronts dag) (Dag.total_work dag)
 
@@ -88,6 +89,15 @@ let deep =
 
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+let binary =
+  Arg.(
+    value & flag
+    & info [ "binary" ]
+        ~doc:
+          "Write the compact binary encoding instead of hyperDAG text. Every reader in \
+           the tree (scheduler, evaluate, serve) sniffs the format, so the two are \
+           interchangeable.")
+
 let output =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"OUTPUT" ~doc:"Output file.")
 
@@ -95,6 +105,7 @@ let cmd =
   let doc = "generate computational DAG instances (hyperDAG format)" in
   Cmd.v (Cmd.info "generate" ~doc)
     Term.(
-      const run $ family $ target $ matrix_n $ density $ iterations $ deep $ seed $ output)
+      const run $ family $ target $ matrix_n $ density $ iterations $ deep $ seed
+      $ binary $ output)
 
 let () = exit (Cmd.eval cmd)

@@ -1,24 +1,20 @@
-(* CLI: schedule a hyperDAG file on a described BSP(+NUMA) machine.
+(* CLI: schedule a hyperDAG file on a described BSP(+NUMA) machine,
+   one-shot or as a long-running batch daemon.
 
    Examples:
      scheduler input.hdag -p 8 -g 3 -l 5
      scheduler input.hdag -p 16 --numa-delta 4 --algorithm multilevel \
-       --seconds 30 --output out.schedule *)
+       --seconds 30 --output out.schedule
+     scheduler serve /var/bsp/queue --cache /var/bsp/cache --jobs 4 *)
 
 open Cmdliner
 
-let algorithms =
-  [
-    ("pipeline", `Pipeline);
-    ("multilevel", `Multilevel);
-    ("cilk", `Cilk);
-    ("hdagg", `Hdagg);
-    ("bl-est", `Bl_est);
-    ("etf", `Etf);
-    ("bspg", `Bspg);
-    ("source", `Source);
-    ("trivial", `Trivial);
-  ]
+let install_trace registry =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Info);
+  Obs.Metrics.on_span_close registry (fun ~path ~seconds ~steps ->
+      Logs.app ~src:Obs.Metrics.src (fun m ->
+          m "stage %-24s %8.3fs %10d steps" path seconds steps))
 
 let run input p g l delta machine_file algorithm seconds output seed quiet show metrics
     trace profile chrome_trace jobs replicate =
@@ -31,17 +27,8 @@ let run input p g l delta machine_file algorithm seconds output seed quiet show 
     end
     else None
   in
-  if trace then begin
-    Logs.set_reporter (Logs.format_reporter ());
-    Logs.set_level (Some Logs.Info);
-    Option.iter
-      (fun r ->
-        Obs.Metrics.on_span_close r (fun ~path ~seconds ~steps ->
-            Logs.app ~src:Obs.Metrics.src (fun m ->
-                m "stage %-24s %8.3fs %10d steps" path seconds steps)))
-      registry
-  end;
-  let dag = Hyperdag_io.read_file input in
+  if trace then Option.iter install_trace registry;
+  let dag = Hyperdag_io.read_file_auto input in
   let machine =
     match machine_file with
     | Some path -> Machine_io.read_file path
@@ -50,37 +37,8 @@ let run input p g l delta machine_file algorithm seconds output seed quiet show 
        | None -> Machine.uniform ~p ~g ~l
        | Some delta -> Machine.numa_tree ~p ~g ~l ~delta)
   in
-  let limits =
-    { Pipeline.thorough_limits with Pipeline.stage_seconds = Some (seconds /. 6.0) }
-  in
   let schedule =
-    Obs.Metrics.with_span ("scheduler:" ^ algorithm) (fun () ->
-        match List.assoc algorithm algorithms with
-        | `Pipeline ->
-          (* the pipeline runs replication as its own final stage *)
-          fst (Pipeline.run ~limits:{ limits with Pipeline.replicate } machine dag)
-        | `Multilevel -> Pipeline.run_multilevel ~limits machine dag
-        | `Cilk -> Cilk.schedule dag ~p ~seed
-        | `Hdagg -> Hdagg.schedule machine dag
-        | `Bl_est -> List_scheduler.schedule List_scheduler.Bl_est machine dag
-        | `Etf -> List_scheduler.schedule List_scheduler.Etf machine dag
-        | `Bspg -> Bspg.schedule machine dag
-        | `Source -> Source_heuristic.schedule machine dag
-        | `Trivial -> Schedule.trivial dag)
-  in
-  (* For every other algorithm, graft replicas onto the finished schedule
-     as a post-pass and keep the cheaper variant (replication re-lazifies
-     the communication schedule, so it is not unconditionally better). *)
-  let schedule =
-    if replicate && algorithm <> "pipeline" then begin
-      let cand =
-        Obs.Metrics.with_span "scheduler:replicate" (fun () ->
-            Hc.replicate_schedule machine schedule)
-      in
-      if Bsp_cost.total machine cand < Bsp_cost.total machine schedule then cand
-      else schedule
-    end
-    else schedule
+    Server.Engine.schedule ~seconds ~seed ~replicate ~algorithm machine dag
   in
   (match Validity.check machine schedule with
    | Ok () -> ()
@@ -128,7 +86,7 @@ let run input p g l delta machine_file algorithm seconds output seed quiet show 
        if not quiet then Printf.printf "metrics written to %s\n" path)
 
 let input =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"HyperDAG input file.")
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"HyperDAG input file (text or binary, auto-detected).")
 
 let p = Arg.(value & opt int 4 & info [ "p"; "procs" ] ~doc:"Number of processors.")
 let g = Arg.(value & opt int 1 & info [ "g"; "comm-cost" ] ~doc:"Per-unit communication cost.")
@@ -146,16 +104,12 @@ let delta =
 let algorithm =
   Arg.(
     value
-    & opt (enum algorithms) `Pipeline
+    & opt (enum (List.map (fun n -> (n, n)) Server.Engine.algorithm_names)) "pipeline"
     & info [ "algorithm"; "a" ]
         ~doc:
           "Scheduler to run: $(b,pipeline) (the full framework), $(b,multilevel), or a \
            baseline ($(b,cilk), $(b,hdagg), $(b,bl-est), $(b,etf), $(b,bspg), \
            $(b,source), $(b,trivial)).")
-
-let algorithm_name =
-  Term.(
-    const (fun a -> fst (List.find (fun (_, v) -> v = a) algorithms)) $ algorithm)
 
 let seconds =
   Arg.(
@@ -240,12 +194,156 @@ let replicate =
            default; without this flag all results are bit-identical to the \
            replication-free scheduler.")
 
-let cmd =
-  let doc = "schedule a computational DAG in the BSP+NUMA model" in
-  Cmd.v
-    (Cmd.info "scheduler" ~doc)
-    Term.(const run $ input $ p $ g $ l $ delta $ machine_file $ algorithm_name $ seconds
-          $ output $ seed $ quiet $ show $ metrics $ trace $ profile $ chrome_trace
-          $ jobs $ replicate)
+(* ------------------------------------------------------------------ *)
+(* serve subcommand *)
 
-let () = exit (Cmd.eval cmd)
+let serve queue_dir cache_dir poll once stdio metrics_file no_metrics request_trace
+    trace jobs =
+  Par.set_jobs jobs;
+  let registry = Obs.Metrics.create () in
+  Obs.Metrics.install registry;
+  if trace then install_trace registry;
+  if stdio then begin
+    let cache_dir =
+      match (cache_dir, queue_dir) with
+      | Some dir, _ -> dir
+      | None, Some q -> Filename.concat q "cache"
+      | None, None -> "bsp-schedule-cache"
+    in
+    Server.Daemon.run_stdio ~cache_dir stdin stdout
+  end
+  else begin
+    let queue_dir =
+      match queue_dir with
+      | Some q -> q
+      | None ->
+        prerr_endline "scheduler serve: a QUEUE directory is required (or --stdio)";
+        exit 2
+    in
+    let default = Server.Daemon.default_config ~queue_dir in
+    let config =
+      {
+        default with
+        Server.Daemon.cache_dir =
+          Option.value ~default:default.Server.Daemon.cache_dir cache_dir;
+        poll_seconds = poll;
+        once;
+        metrics_file =
+          (if no_metrics then None
+           else
+             Some
+               (Option.value ~default:(Filename.concat queue_dir "metrics.json")
+                  metrics_file));
+        request_trace_file = request_trace;
+      }
+    in
+    Server.Daemon.run config
+  end
+
+let queue_dir =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"QUEUE"
+        ~doc:
+          "Queue directory: requests are read from $(docv)/incoming/*.req, responses \
+           and schedules written to $(docv)/done/, and touching $(docv)/stop shuts the \
+           daemon down cleanly. Created if absent. Not needed with $(b,--stdio).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed schedule cache directory (default $(i,QUEUE)/cache). \
+           Entries are keyed by a structural hash of (DAG, machine, algorithm, seed, \
+           replicate); sharing one cache across daemons is safe — all writes are \
+           atomic.")
+
+let poll =
+  Arg.(
+    value & opt float 0.05
+    & info [ "poll" ] ~docv:"SECONDS" ~doc:"Sleep between empty queue scans.")
+
+let once =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:"Drain the queue (processing everything pending), then exit instead of \
+              polling — useful for cron-style batch runs and tests.")
+
+let stdio =
+  Arg.(
+    value & flag
+    & info [ "stdio" ]
+        ~doc:
+          "Serve length-framed requests from stdin and answer on stdout (4-byte \
+           big-endian length prefix per frame) instead of watching a queue directory.")
+
+let serve_metrics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Metrics snapshot location (default $(i,QUEUE)/metrics.json), refreshed \
+           atomically after every batch: request/hit/miss/refresh counters, queue \
+           depth, per-request latency series.")
+
+let no_metrics =
+  Arg.(value & flag & info [ "no-metrics" ] ~doc:"Disable the metrics snapshot file.")
+
+let request_trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "request-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event timeline of the request loop (one slice per \
+           served request, cache status attached) at shutdown. Open in \
+           ui.perfetto.dev.")
+
+let serve_trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Log per-stage span summaries as requests are processed.")
+
+let serve_cmd =
+  let doc = "run as a long-running batch scheduling daemon with a schedule cache" in
+  Cmd.v
+    (Cmd.info "scheduler serve" ~doc)
+    Term.(
+      const serve $ queue_dir $ cache_dir_arg $ poll $ once $ stdio $ serve_metrics
+      $ no_metrics $ request_trace $ serve_trace $ jobs)
+
+let run_cmd =
+  let doc = "schedule a computational DAG in the BSP+NUMA model" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Schedules one hyperDAG instance and exits. Run $(b,scheduler serve) instead \
+         to start the long-running batch daemon with its content-addressed schedule \
+         cache ($(b,scheduler serve --help)).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "scheduler" ~doc ~man)
+    Term.(
+      const run $ input $ p $ g $ l $ delta $ machine_file $ algorithm $ seconds
+      $ output $ seed $ quiet $ show $ metrics $ trace $ profile $ chrome_trace $ jobs
+      $ replicate)
+
+(* cmdliner groups route the first positional to a sub-command name, which
+   would swallow the INPUT argument of the plain one-shot form — dispatch on
+   argv.(1) ourselves so both [scheduler input.hdag] and [scheduler serve]
+   keep working. *)
+let () =
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "serve" then
+    let argv =
+      Array.append [| argv.(0) |] (Array.sub argv 2 (Array.length argv - 2))
+    in
+    exit (Cmd.eval ~argv serve_cmd)
+  else exit (Cmd.eval run_cmd)

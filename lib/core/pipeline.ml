@@ -95,7 +95,7 @@ let local_search ?(label = "init") limits machine sched =
 
 let cost machine s = Bsp_cost.total machine s
 
-let run_stages ~limits ~with_trivial_init machine dag =
+let run_stages ?(extra_inits = []) ~limits ~with_trivial_init machine dag =
   let inits =
     [
       ("bspg", fun () -> Bspg.schedule machine dag);
@@ -124,6 +124,11 @@ let run_stages ~limits ~with_trivial_init machine dag =
       ]
     else []
   in
+  (* Extra candidates ride at the end so the submission-order tie-break
+     (strict [<] in the fold below) is unchanged when the list is
+     empty — an empty [extra_inits] is bit-identical to the historical
+     pipeline. *)
+  let inits = inits @ extra_inits in
   (* Improve every initial schedule separately with HC+HCcs (running the
      local search is cheap — Section 6) and keep the best. Each
      candidate's init→HC→HCcs chain is one [Par] task; the fold below
@@ -271,6 +276,27 @@ let run_stages ~limits ~with_trivial_init machine dag =
 let run ?(limits = default_limits) ?(with_trivial_init = true) machine dag =
   Obs.Metrics.with_span "pipeline" (fun () ->
       run_stages ~limits ~with_trivial_init machine dag)
+
+(* Warm-started run: the serve daemon's budget-topped re-optimize path
+   (DESIGN.md Section 5h). The cached schedule joins the initial
+   candidates — re-lazified so HC's single-placement moves apply, and
+   stripped of replicas first since the move entry points refuse
+   replicated schedules — and every stage remains an improvement
+   operator, so the result is never worse than what local search can
+   make of the warm start. The caller still compares the final cost
+   against the cached cost before replacing a cache entry, because
+   re-lazification can shed a hand-optimised communication schedule. *)
+let run_warm ?(limits = default_limits) ?(with_trivial_init = true) ~warm machine dag =
+  if Dag.n warm.Schedule.dag <> Dag.n dag then
+    invalid_arg "Pipeline.run_warm: warm schedule is over a different DAG";
+  let extra_inits =
+    [
+      ( "warm",
+        fun () -> Schedule.with_lazy_comm (Schedule.drop_replicas warm) );
+    ]
+  in
+  Obs.Metrics.with_span "pipeline" (fun () ->
+      run_stages ~extra_inits ~limits ~with_trivial_init machine dag)
 
 (* The base pipeline as a multilevel solving-phase callback: ILPcs is
    withheld until after uncoarsening (Figure 4). *)

@@ -89,6 +89,23 @@ val run :
     gap, peak work imbalance, bottleneck processor and its
     utilisation). *)
 
+val run_warm :
+  ?limits:limits ->
+  ?with_trivial_init:bool ->
+  warm:Schedule.t ->
+  Machine.t ->
+  Dag.t ->
+  Schedule.t * stage_costs
+(** {!run} with one extra initial candidate: an existing schedule for
+    the same DAG (typically a cached best from the serve daemon's
+    content-addressed cache, re-optimised under a larger budget —
+    DESIGN.md Section 5h). The warm schedule is re-lazified and
+    stripped of replicas before joining the candidate set; with the
+    warm candidate appended after the standard initialisers, a run
+    where the warm schedule never wins is bit-identical to {!run}.
+    Raises [Invalid_argument] if the warm schedule's DAG has a
+    different node count. *)
+
 val run_multilevel :
   ?limits:limits ->
   ?solver_limits:limits ->

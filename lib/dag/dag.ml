@@ -471,6 +471,21 @@ let assign_paper_weights g =
     ~work:(fun v -> if in_degree g v = 0 then 1 else in_degree g v - 1)
     ~comm:(fun _ -> 1)
 
+(* The CSR form is already canonical — segments sorted and
+   deduplicated, node ids dense — so hashing the raw arrays gives a
+   structural content address: two DAGs hash equal iff they have the
+   same node count, edge set and weights. [succ_off] is derivable from
+   the segment lengths but is included anyway so a corrupt in-memory
+   value cannot alias a well-formed one. *)
+let structural_hash g =
+  let h = Fnv.init in
+  let h = Fnv.int h g.n in
+  let h = Fnv.int h (num_edges g) in
+  let h = Fnv.int_array h g.succ_off in
+  let h = Fnv.int_array h g.succ_tgt in
+  let h = Fnv.int_array h g.work in
+  Fnv.int_array h g.comm
+
 let pp fmt g =
   Format.fprintf fmt "@[<v>dag: %d nodes, %d edges@," g.n (num_edges g);
   for u = 0 to g.n - 1 do

@@ -166,6 +166,16 @@ val map_weights : t -> work:(int -> int) -> comm:(int -> int) -> t
 (** Rebuild the DAG with new weights; [work v] and [comm v] receive the
     node id. *)
 
+(** {1 Content addressing} *)
+
+val structural_hash : t -> Fnv.t
+(** A 64-bit FNV-1a hash of the canonical structure: node count, CSR
+    successor adjacency (sorted, deduplicated) and both weight arrays.
+    Stable across processes and platforms, so it can key on-disk caches
+    (DESIGN.md Section 5h). Two DAGs with equal node count, edge set
+    and weights always hash equal; distinct DAGs collide only with
+    generic 64-bit-hash probability. *)
+
 (** {1 Well-formedness} *)
 
 val is_acyclic_edges : n:int -> (int * int) list -> bool

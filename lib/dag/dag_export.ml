@@ -37,6 +37,4 @@ let schedule_to_dot ?(name = "schedule") g ~proc ~step =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let write_file path text =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+let write_file path text = Atomic_file.write_string path text

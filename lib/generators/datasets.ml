@@ -171,10 +171,8 @@ let write_database ~dir ~scale ~seed =
     training ~scale ~seed :: (main_datasets ~scale ~seed @ [ huge ~scale ~seed ])
   in
   let manifest = Filename.concat dir "MANIFEST" in
-  let oc = open_out manifest in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_file.write manifest
+    (fun oc ->
       Printf.fprintf oc
         "%% computational DAG database (scale=%s, seed=%d)\n%% dataset  name  nodes  edges  total_work\n"
         (scale_name scale) seed;

@@ -65,19 +65,5 @@ let to_string (m : Machine.t) =
   done;
   Buffer.contents buf
 
-let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let buf = Buffer.create 256 in
-      (try
-         while true do
-           Buffer.add_channel buf ic 1
-         done
-       with End_of_file -> ());
-      of_string (Buffer.contents buf))
-
-let write_file path m =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string m))
+let read_file path = In_channel.with_open_bin path (fun ic -> of_string (In_channel.input_all ic))
+let write_file path m = Atomic_file.write_string path (to_string m)

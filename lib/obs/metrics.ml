@@ -242,10 +242,7 @@ let to_json t =
     ]
 
 let write_json_file t file =
-  let oc = open_out file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_file.write file (fun oc ->
       output_string oc (Json.to_string (to_json t));
       output_char oc '\n')
 

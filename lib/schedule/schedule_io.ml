@@ -104,20 +104,11 @@ let of_string dag text =
     end
 
 let write oc t = output_string oc (to_string t)
+let write_file path t = Atomic_file.write path (fun oc -> write oc t)
 
-let write_file path t =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc t)
-
-let read dag ic =
-  let buf = Buffer.create 4096 in
-  (try
-     while true do
-       Buffer.add_channel buf ic 1
-     done
-   with End_of_file -> ());
-  of_string dag (Buffer.contents buf)
-
-let read_file dag path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read dag ic)
+(* One bulk read instead of the historical one-channel-read-per-byte
+   loop: [Buffer.add_channel buf ic 1] paid a full channel dispatch for
+   every byte, which is pathological for large schedules and for the
+   serve daemon's cache-hit path. *)
+let read dag ic = of_string dag (In_channel.input_all ic)
+let read_file dag path = In_channel.with_open_bin path (read dag)

@@ -144,9 +144,6 @@ let to_json machine (t : Schedule.t) =
 let to_string machine t = Obs.Json.to_string (to_json machine t)
 
 let write_file path machine t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_file.write path (fun oc ->
       output_string oc (to_string machine t);
       output_char oc '\n')

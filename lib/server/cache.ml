@@ -1,0 +1,63 @@
+let key ~dag ~machine ~algorithm ~seed ~replicate =
+  let h = Fnv.init in
+  (* A format tag so the key space can be versioned if the canonical
+     serialisation ever changes. *)
+  let h = Fnv.string h "bsp-schedule-cache-v1" in
+  let h = Fnv.string h (Fnv.to_hex (Dag.structural_hash dag)) in
+  let h = Fnv.int h machine.Machine.p in
+  let h = Fnv.int h machine.Machine.g in
+  let h = Fnv.int h machine.Machine.l in
+  let h = Array.fold_left Fnv.int_array h machine.Machine.lambda in
+  let h = Fnv.string h algorithm in
+  let h = Fnv.int h seed in
+  let h = Fnv.int h (Bool.to_int replicate) in
+  Fnv.to_hex h
+
+let meta_path ~dir key = Filename.concat dir (key ^ ".meta.json")
+let schedule_path ~dir key = Filename.concat dir (key ^ ".schedule")
+
+type entry = { cost : int; seconds_budget : float; schedule : Schedule.t }
+
+let lookup ~dir ~dag key =
+  let mp = meta_path ~dir key in
+  if not (Sys.file_exists mp) then None
+  else
+    (* Any defect — unreadable meta, stale node count, corrupt or
+       missing schedule — degrades to a miss: the entry is recomputed
+       and atomically overwritten, so the cache self-heals. *)
+    match
+      let text = In_channel.with_open_bin mp In_channel.input_all in
+      let j = Obs.Json.of_string text in
+      let get name conv =
+        match Option.bind (Obs.Json.member name j) conv with
+        | Some v -> v
+        | None -> failwith ("Cache: meta field missing or mistyped: " ^ name)
+      in
+      let cost = get "cost" Obs.Json.to_int_opt in
+      let seconds_budget = get "seconds_budget" Obs.Json.to_float_opt in
+      let n = get "n" Obs.Json.to_int_opt in
+      if n <> Dag.n dag then failwith "Cache: node count mismatch";
+      let schedule = Schedule_io.read_file dag (schedule_path ~dir key) in
+      { cost; seconds_budget; schedule }
+    with
+    | entry -> Some entry
+    | exception (Failure _ | Sys_error _ | Obs.Json.Parse_error _ | End_of_file) ->
+      None
+
+let store ~dir ~key ~algorithm ~cost ~seconds_budget schedule =
+  (* Schedule first, meta second: the meta file is the commit point a
+     lookup starts from, so a crash between the two writes leaves no
+     visible half-entry (and each write is itself atomic). *)
+  Schedule_io.write_file (schedule_path ~dir key) schedule;
+  let meta =
+    Obs.Json.Obj
+      [
+        ("key", Obs.Json.String key);
+        ("algorithm", Obs.Json.String algorithm);
+        ("n", Obs.Json.Int (Dag.n schedule.Schedule.dag));
+        ("supersteps", Obs.Json.Int (Schedule.num_supersteps schedule));
+        ("cost", Obs.Json.Int cost);
+        ("seconds_budget", Obs.Json.Float seconds_budget);
+      ]
+  in
+  Atomic_file.write_string (meta_path ~dir key) (Obs.Json.to_string meta ^ "\n")

@@ -1,0 +1,344 @@
+type config = {
+  queue_dir : string;
+  cache_dir : string;
+  poll_seconds : float;
+  once : bool;
+  metrics_file : string option;
+  request_trace_file : string option;
+}
+
+let default_config ~queue_dir =
+  {
+    queue_dir;
+    cache_dir = Filename.concat queue_dir "cache";
+    poll_seconds = 0.05;
+    once = false;
+    metrics_file = Some (Filename.concat queue_dir "metrics.json");
+    request_trace_file = None;
+  }
+
+let incoming_dir cfg = Filename.concat cfg.queue_dir "incoming"
+let done_dir cfg = Filename.concat cfg.queue_dir "done"
+let stop_path cfg = Filename.concat cfg.queue_dir "stop"
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Responses. *)
+
+let error_json ~id msg =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.String id);
+      ("status", Obs.Json.String "error");
+      ("error", Obs.Json.String msg);
+    ]
+
+let ok_json ~id ~cache ~key ~cost ~supersteps ~seconds extra =
+  Obs.Json.Obj
+    ([
+       ("id", Obs.Json.String id);
+       ("status", Obs.Json.String "ok");
+       ("cache", Obs.Json.String cache);
+       ("key", Obs.Json.String key);
+       ("cost", Obs.Json.Int cost);
+       ("supersteps", Obs.Json.Int supersteps);
+       ("seconds", Obs.Json.Float seconds);
+     ]
+    @ extra)
+
+(* ------------------------------------------------------------------ *)
+(* Directory queue. *)
+
+let scan cfg =
+  Sys.readdir (incoming_dir cfg)
+  |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".req")
+  |> List.sort compare
+
+let counter_of_label = function
+  | "hit" -> "server.cache_hits"
+  | "miss" -> "server.cache_misses"
+  | "refresh" -> "server.cache_refreshes"
+  | "coalesced" -> "server.cache_coalesced"
+  | other -> "server.cache_" ^ other
+
+type trace_event = {
+  ev_id : string;
+  ev_cache : string;
+  ev_ts : float;  (** µs since daemon start *)
+  ev_dur : float;  (** µs *)
+}
+
+let write_request_trace path events =
+  let json =
+    Obs.Json.Obj
+      [
+        ( "traceEvents",
+          Obs.Json.List
+            (List.map
+               (fun e ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.String e.ev_id);
+                     ("cat", Obs.Json.String "request");
+                     ("ph", Obs.Json.String "X");
+                     ("ts", Obs.Json.Float e.ev_ts);
+                     ("dur", Obs.Json.Float e.ev_dur);
+                     ("pid", Obs.Json.Int 0);
+                     ("tid", Obs.Json.Int 0);
+                     ("args", Obs.Json.Obj [ ("cache", Obs.Json.String e.ev_cache) ]);
+                   ])
+               events) );
+      ]
+  in
+  Atomic_file.write_string path (Obs.Json.to_string json ^ "\n")
+
+(* One queue batch: parse everything, coalesce duplicate content
+   addresses, run one Engine task per distinct address on the Par pool,
+   then write every response (schedule first, response JSON second,
+   request file removed last — a crash at any point either leaves the
+   request queued for reprocessing, which the cache then answers, or
+   fully answered; never half-answered). *)
+let process_batch cfg ~t0 ~trace_events names =
+  Obs.Metrics.counter "server.batches" 1;
+  let incoming = incoming_dir cfg and finished = done_dir cfg in
+  let parsed =
+    List.map
+      (fun name ->
+        let base = Filename.chop_suffix name ".req" in
+        let path = Filename.concat incoming name in
+        match
+          let text = In_channel.with_open_bin path In_channel.input_all in
+          Request.parse ~base_dir:incoming ~id:base text
+        with
+        | req -> (name, base, Ok req)
+        | exception (Failure msg | Sys_error msg) -> (name, base, Error msg))
+      names
+  in
+  let leaders = ref [] in
+  let leader_of = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _base, r) ->
+      match r with
+      | Error _ -> ()
+      | Ok req ->
+        let key = Engine.request_key req in
+        if not (Hashtbl.mem leader_of key) then begin
+          Hashtbl.add leader_of key name;
+          leaders := (key, req) :: !leaders
+        end)
+    parsed;
+  let results =
+    Par.map
+      (fun (key, req) ->
+        let t_start = Unix.gettimeofday () in
+        let outcome =
+          match
+            Obs.Metrics.with_span "server/request" (fun () ->
+                Engine.handle ~cache_dir:cfg.cache_dir req)
+          with
+          | r -> Ok r
+          | exception (Failure msg | Sys_error msg) -> Error msg
+        in
+        (key, outcome, t_start, Unix.gettimeofday () -. t_start))
+      (List.rev !leaders)
+  in
+  let result_of_key = Hashtbl.create 16 in
+  List.iter
+    (fun (key, outcome, t_start, dt) ->
+      Hashtbl.replace result_of_key key (outcome, t_start, dt))
+    results;
+  let respond_error ~base ~id msg =
+    Obs.Metrics.counter "server.errors" 1;
+    Atomic_file.write_string
+      (Filename.concat finished (base ^ ".resp.json"))
+      (Obs.Json.to_string (error_json ~id msg) ^ "\n")
+  in
+  List.iter
+    (fun (name, base, r) ->
+      Obs.Metrics.counter "server.requests" 1;
+      (match r with
+       | Error msg -> respond_error ~base ~id:base msg
+       | Ok req ->
+         let key = Engine.request_key req in
+         let outcome, t_start, dt = Hashtbl.find result_of_key key in
+         (match outcome with
+          | Error msg -> respond_error ~base ~id:req.Request.id msg
+          | Ok (res : Engine.result) ->
+            let is_leader = Hashtbl.find leader_of key = name in
+            let cache_label =
+              if is_leader then Engine.status_label res.Engine.status
+              else "coalesced"
+            in
+            Obs.Metrics.counter (counter_of_label cache_label) 1;
+            let seconds = if is_leader then dt else 0.0 in
+            Obs.Metrics.series_point "server.request_seconds" ~label:req.Request.id
+              seconds;
+            let sched_rel = Filename.concat "done" (base ^ ".schedule") in
+            Schedule_io.write_file
+              (Filename.concat finished (base ^ ".schedule"))
+              res.Engine.schedule;
+            Atomic_file.write_string
+              (Filename.concat finished (base ^ ".resp.json"))
+              (Obs.Json.to_string
+                 (ok_json ~id:req.Request.id ~cache:cache_label ~key:res.Engine.key
+                    ~cost:res.Engine.cost
+                    ~supersteps:(Schedule.num_supersteps res.Engine.schedule)
+                    ~seconds
+                    [ ("schedule_file", Obs.Json.String sched_rel) ])
+              ^ "\n");
+            trace_events :=
+              {
+                ev_id = req.Request.id;
+                ev_cache = cache_label;
+                ev_ts = (t_start -. t0) *. 1e6;
+                ev_dur = dt *. 1e6 *. (if is_leader then 1.0 else 0.0);
+              }
+              :: !trace_events));
+      try Sys.remove (Filename.concat incoming name) with Sys_error _ -> ())
+    parsed
+
+let run cfg =
+  mkdir_p (incoming_dir cfg);
+  mkdir_p (done_dir cfg);
+  mkdir_p cfg.cache_dir;
+  (* The loop records through the ambient registry; install one if the
+     caller did not, so the metrics file is always meaningful. *)
+  let registry =
+    match Obs.Metrics.current () with
+    | Some r -> r
+    | None ->
+      let r = Obs.Metrics.create () in
+      Obs.Metrics.install r;
+      r
+  in
+  let write_metrics () =
+    Option.iter (Obs.Metrics.write_json_file registry) cfg.metrics_file
+  in
+  let t0 = Unix.gettimeofday () in
+  let trace_events = ref [] in
+  let interrupted = ref false in
+  let old_term = ref None and old_int = ref None in
+  (try
+     old_term :=
+       Some (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> interrupted := true)));
+     old_int :=
+       Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> interrupted := true)))
+   with Invalid_argument _ | Sys_error _ -> ());
+  let restore () =
+    (try Option.iter (Sys.set_signal Sys.sigterm) !old_term with _ -> ());
+    try Option.iter (Sys.set_signal Sys.sigint) !old_int with _ -> ()
+  in
+  Fun.protect ~finally:restore (fun () ->
+      let rec loop () =
+        let pending = scan cfg in
+        Obs.Metrics.gauge "server.queue_depth" (float_of_int (List.length pending));
+        if pending <> [] && not !interrupted then begin
+          process_batch cfg ~t0 ~trace_events pending;
+          write_metrics ();
+          loop ()
+        end
+        else if
+          !interrupted || cfg.once || Sys.file_exists (stop_path cfg)
+        then ()
+        else begin
+          Unix.sleepf cfg.poll_seconds;
+          loop ()
+        end
+      in
+      loop ();
+      Obs.Metrics.gauge "server.uptime_seconds" (Unix.gettimeofday () -. t0);
+      write_metrics ();
+      Option.iter
+        (fun path -> write_request_trace path (List.rev !trace_events))
+        cfg.request_trace_file;
+      (* Consume the stop marker so the next daemon on this queue does
+         not exit immediately. *)
+      try Sys.remove (stop_path cfg) with Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Length-framed stdin/stdout protocol: 4-byte big-endian payload
+   length, then the payload — a request document in a frame, a
+   compact-JSON response (schedule inline) in the reply frame. Clean
+   EOF is only legal at a frame boundary; a partial header or payload
+   fails loudly. *)
+
+let max_frame = 256 * 1024 * 1024
+
+let read_frame ic =
+  match input_char ic with
+  | exception End_of_file -> None
+  | b0 ->
+    let rest =
+      try really_input_string ic 3
+      with End_of_file -> failwith "Daemon: truncated frame header"
+    in
+    let b i = if i = 0 then Char.code b0 else Char.code rest.[i - 1] in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if len > max_frame then
+      failwith (Printf.sprintf "Daemon: frame length %d exceeds the %d limit" len max_frame);
+    (match really_input_string ic len with
+     | payload -> Some payload
+     | exception End_of_file -> failwith "Daemon: truncated frame payload")
+
+let write_frame oc payload =
+  let len = String.length payload in
+  if len > max_frame then failwith "Daemon: response exceeds the frame limit";
+  output_char oc (Char.chr ((len lsr 24) land 0xff));
+  output_char oc (Char.chr ((len lsr 16) land 0xff));
+  output_char oc (Char.chr ((len lsr 8) land 0xff));
+  output_char oc (Char.chr (len land 0xff));
+  output_string oc payload;
+  flush oc
+
+let run_stdio ~cache_dir ic oc =
+  set_binary_mode_in ic true;
+  set_binary_mode_out oc true;
+  mkdir_p cache_dir;
+  let count = ref 0 in
+  let rec loop () =
+    match read_frame ic with
+    | None -> ()
+    | Some payload ->
+      incr count;
+      Obs.Metrics.counter "server.requests" 1;
+      let json =
+        match
+          let req =
+            Request.parse ~id:(Printf.sprintf "stdio-%d" !count) payload
+          in
+          let t_start = Unix.gettimeofday () in
+          let res =
+            Obs.Metrics.with_span "server/request" (fun () ->
+                Engine.handle ~cache_dir req)
+          in
+          let dt = Unix.gettimeofday () -. t_start in
+          Obs.Metrics.counter
+            (counter_of_label (Engine.status_label res.Engine.status))
+            1;
+          Obs.Metrics.series_point "server.request_seconds" ~label:req.Request.id dt;
+          ok_json ~id:req.Request.id
+            ~cache:(Engine.status_label res.Engine.status)
+            ~key:res.Engine.key ~cost:res.Engine.cost
+            ~supersteps:(Schedule.num_supersteps res.Engine.schedule)
+            ~seconds:dt
+            [
+              ( "schedule",
+                Obs.Json.String (Schedule_io.to_string res.Engine.schedule) );
+            ]
+        with
+        | json -> json
+        | exception (Failure msg | Sys_error msg) ->
+          Obs.Metrics.counter "server.errors" 1;
+          error_json ~id:(Printf.sprintf "stdio-%d" !count) msg
+      in
+      write_frame oc (Obs.Json.to_string_compact json);
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,78 @@
+(** The long-running batch scheduler — [scheduler serve] (DESIGN.md
+    Section 5h).
+
+    {b Directory queue.} A queue directory holds:
+
+    {v
+    <queue>/incoming/NAME.req     dropped requests (Request format)
+    <queue>/done/NAME.resp.json   response, written atomically
+    <queue>/done/NAME.schedule    the schedule (Schedule_io format)
+    <queue>/stop                  touch to request clean shutdown
+    <queue>/metrics.json          Obs.Metrics snapshot (configurable)
+    v}
+
+    The loop scans [incoming/] (lexicographic order), treats everything
+    pending as one batch, coalesces requests with equal content
+    addresses, runs one {!Engine.handle} task per distinct address on
+    the {!Par} domain pool, and answers each request with the response
+    JSON plus schedule file. Responses are written before the request
+    file is removed and every write is atomic, so a killed daemon
+    leaves each request either fully answered or still queued — and a
+    requeued request is answered from the cache. Producers should
+    write-then-rename their request files into [incoming/] so the
+    daemon never sees a partial request.
+
+    The response JSON carries [id], [status] ("ok"/"error"),
+    [cache] ("hit" | "miss" | "refresh" | "coalesced"), [key], [cost],
+    [supersteps], [seconds] (handling latency; [0] for coalesced
+    followers) and [schedule_file] (queue-relative), or [error] with a
+    message.
+
+    {b Observability.} Counters [server.requests], [server.batches],
+    [server.cache_hits]/[_misses]/[_refreshes]/[_coalesced],
+    [server.errors]; gauges [server.queue_depth] and
+    [server.uptime_seconds]; per-request latency as the
+    [server.request_seconds] series — recorded through the ambient
+    {!Obs.Metrics} registry (one is installed if absent) and snapshot
+    to [metrics_file] after every batch. [request_trace_file] writes a
+    Chrome trace_event timeline of the request loop (one X slice per
+    served request, cache status in [args]) at shutdown.
+
+    {b Shutdown.} Touching [<queue>/stop], SIGTERM or SIGINT all stop
+    the loop after the in-flight batch; remaining metrics and trace are
+    flushed and the stop marker is consumed. *)
+
+type config = {
+  queue_dir : string;
+  cache_dir : string;  (** the content-addressed cache ({!Cache}) *)
+  poll_seconds : float;  (** sleep between empty scans *)
+  once : bool;  (** drain the queue, then exit instead of polling *)
+  metrics_file : string option;
+  request_trace_file : string option;
+}
+
+val default_config : queue_dir:string -> config
+(** Cache in [<queue>/cache], 50 ms poll, metrics to
+    [<queue>/metrics.json], no request trace, [once = false]. *)
+
+val run : config -> unit
+(** Run the daemon until a shutdown condition. Creates the queue and
+    cache directories as needed. *)
+
+(** {1 Length-framed stdio protocol}
+
+    For socket-style embedding ([scheduler serve --stdio]): each frame
+    is a 4-byte big-endian payload length followed by the payload. A
+    request frame carries a {!Request} document; the reply frame
+    carries the response JSON with the schedule inlined under
+    ["schedule"]. EOF at a frame boundary ends the session; a truncated
+    frame raises [Failure]. *)
+
+val read_frame : in_channel -> string option
+val write_frame : out_channel -> string -> unit
+
+val run_stdio : cache_dir:string -> in_channel -> out_channel -> unit
+(** Serve frames from the input channel until EOF, answering on the
+    output channel. Requests are handled one at a time in arrival
+    order (batching happens across the {!Par} pool only in the
+    directory queue). *)

@@ -1,0 +1,58 @@
+(** Algorithm dispatch and the cache protocol (DESIGN.md Section 5h).
+
+    This is the single scheduling entry point shared by the one-shot
+    CLI and the serve daemon, so a cached answer is bit-identical to
+    what the same request would have produced one-shot. *)
+
+val algorithm_names : string list
+(** Every scheduler the framework exposes, pipeline first — the source
+    of truth for the CLI's [--algorithm] enum and request validation. *)
+
+val is_algorithm : string -> bool
+
+val budget_sensitive : string -> bool
+(** [true] for the search-based methods ([pipeline], [multilevel])
+    whose answer can improve under a larger [seconds] budget. Cached
+    answers for budget-insensitive algorithms are final: any budget is
+    a hit. *)
+
+val schedule :
+  ?warm:Schedule.t ->
+  seconds:float ->
+  seed:int ->
+  replicate:bool ->
+  algorithm:string ->
+  Machine.t ->
+  Dag.t ->
+  Schedule.t
+(** Run one algorithm under a wall-clock budget ([seconds] is split
+    across pipeline stages exactly as the CLI always did). [warm]
+    seeds the base pipeline with an existing schedule
+    ({!Pipeline.run_warm}); it is ignored by every other algorithm.
+    With [replicate] set, non-pipeline algorithms get the replication
+    post-pass, kept only when strictly cheaper. Raises [Failure] on an
+    unknown algorithm name. *)
+
+val request_key : Request.t -> string
+(** The request's content address ({!Cache.key}) — what the daemon uses
+    to coalesce duplicate requests inside one batch. *)
+
+type status =
+  | Hit  (** served from cache, pipeline not run *)
+  | Miss  (** computed and cached *)
+  | Refresh
+      (** cached entry existed but under a smaller budget: re-optimised
+          (warm-started for the pipeline), best of old and new kept,
+          recorded budget topped up *)
+
+val status_label : status -> string
+(** ["hit"] / ["miss"] / ["refresh"] — the wire form in responses and
+    metric names. *)
+
+type result = { status : status; key : string; cost : int; schedule : Schedule.t }
+
+val handle : cache_dir:string -> Request.t -> result
+(** Serve one request through the cache: look up the content address,
+    return the cached schedule on a hit, otherwise compute, store
+    atomically, and return. Raises [Failure] on an unknown algorithm or
+    an internal validity failure; IO errors propagate. *)

@@ -1,0 +1,98 @@
+type t = {
+  id : string;
+  algorithm : string;
+  seconds : float;
+  seed : int;
+  replicate : bool;
+  machine : Machine.t;
+  dag : Dag.t;
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let parse ?(base_dir = ".") ~id text =
+  let resolve p = if Filename.is_relative p then Filename.concat base_dir p else p in
+  let lines = String.split_on_char '\n' text in
+  let id = ref id in
+  let algorithm = ref "pipeline" in
+  let seconds = ref 10.0 in
+  let seed = ref 1 in
+  let replicate = ref false in
+  let p = ref None and g = ref None and l = ref None and delta = ref None in
+  let machine_path = ref None in
+  let dag_path = ref None in
+  let inline_dag = ref None in
+  let int_of what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail "Request: %s: not an integer: %s" what s
+  in
+  (* Header lines up to the [hyperdag] marker; everything after the
+     marker is the inline hyperDAG body, passed to the text parser
+     verbatim. *)
+  let rec go = function
+    | [] -> ()
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '%' then go rest
+      else begin
+        let words =
+          String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "")
+        in
+        (match words with
+         | [ "id"; v ] -> id := v
+         | [ "algorithm"; v ] -> algorithm := v
+         | [ "seconds"; v ] ->
+           (match float_of_string_opt v with
+            | Some s when s > 0.0 -> seconds := s
+            | _ -> fail "Request: seconds must be a positive number, got %s" v)
+         | [ "seed"; v ] -> seed := int_of "seed" v
+         | [ "replicate" ] -> replicate := true
+         | [ "replicate"; "true" ] -> replicate := true
+         | [ "replicate"; "false" ] -> replicate := false
+         | [ "p"; v ] -> p := Some (int_of "p" v)
+         | [ "g"; v ] -> g := Some (int_of "g" v)
+         | [ "l"; v ] -> l := Some (int_of "l" v)
+         | [ "numa-delta"; v ] -> delta := Some (int_of "numa-delta" v)
+         | [ "machine"; path ] -> machine_path := Some path
+         | [ "dag"; path ] -> dag_path := Some path
+         | [ "hyperdag" ] ->
+           inline_dag := Some (String.concat "\n" rest);
+           raise Exit
+         | _ -> fail "Request: unrecognised line: %s" trimmed);
+        go rest
+      end
+  in
+  (try go lines with Exit -> ());
+  let machine =
+    match !machine_path with
+    | Some path ->
+      if !p <> None || !g <> None || !l <> None || !delta <> None then
+        fail "Request: give either a machine file or p/g/l/numa-delta lines, not both";
+      Machine_io.read_file (resolve path)
+    | None ->
+      let p = Option.value ~default:4 !p in
+      let g = Option.value ~default:1 !g in
+      let l = Option.value ~default:5 !l in
+      (try
+         match !delta with
+         | None -> Machine.uniform ~p ~g ~l
+         | Some delta -> Machine.numa_tree ~p ~g ~l ~delta
+       with Invalid_argument m -> fail "Request: %s" m)
+  in
+  let dag =
+    match (!dag_path, !inline_dag) with
+    | Some _, Some _ -> fail "Request: give either a dag file or an inline hyperdag section, not both"
+    | None, None -> fail "Request: missing dag (either a 'dag <path>' line or a 'hyperdag' section)"
+    | Some path, None -> Hyperdag_io.read_file_auto (resolve path)
+    | None, Some text -> Hyperdag_io.of_string text
+  in
+  {
+    id = !id;
+    algorithm = !algorithm;
+    seconds = !seconds;
+    seed = !seed;
+    replicate = !replicate;
+    machine;
+    dag;
+  }

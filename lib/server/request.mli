@@ -1,0 +1,43 @@
+(** Scheduling requests (DESIGN.md Section 5h).
+
+    A request is a small line-oriented text document naming a workload
+    (hyperDAG + machine) and how hard to optimise it. Lines before the
+    optional [hyperdag] marker form the header; [%] comments and blank
+    lines are ignored:
+
+    {v
+    % any comment
+    id job-42                    (defaults to the queue file name)
+    algorithm pipeline           (any scheduler the CLI accepts)
+    seconds 5                    (optimisation budget, default 10)
+    seed 1                       (Cilk stealing seed, default 1)
+    replicate true               (node replication, default false)
+    p 4                          (machine, CLI-style ...)
+    g 1
+    l 5
+    numa-delta 3
+    machine path/to/m.machine    (... or a Machine_io file instead)
+    dag path/to/instance.hdag    (text or binary, sniffed)
+    hyperdag                     (... or the instance inline:)
+    <hyperDAG text until end of file>
+    v}
+
+    Exactly one of [dag <path>] / inline [hyperdag] must be present.
+    Relative paths resolve against [base_dir] (the daemon passes the
+    queue's incoming directory). *)
+
+type t = {
+  id : string;
+  algorithm : string;  (** not validated here; {!Engine.handle} rejects unknowns *)
+  seconds : float;  (** optimisation budget; the cache's refresh threshold *)
+  seed : int;
+  replicate : bool;
+  machine : Machine.t;
+  dag : Dag.t;
+}
+
+val parse : ?base_dir:string -> id:string -> string -> t
+(** Parse a request document. [id] is the fallback identity (the queue
+    file name) used when the document has no [id] line. Raises
+    [Failure] with a descriptive message on malformed input, unreadable
+    referenced files, or a malformed embedded hyperDAG. *)

@@ -1,0 +1,39 @@
+(* Crash-safe file writes: write to a unique sibling temp file, flush,
+   fsync, close, then rename over the destination. POSIX rename is
+   atomic within a filesystem, so readers either see the previous
+   complete version or the new complete version — never a prefix. The
+   temp file lives in the destination directory (rename across
+   filesystems is not atomic), and its name carries the pid, domain id
+   and a process-wide counter so concurrent writers (daemon batches on
+   several domains, or two processes sharing a cache directory) never
+   collide. *)
+
+let counter = Atomic.make 0
+
+let temp_path path =
+  Printf.sprintf "%s.tmp.%d.%d.%d" path (Unix.getpid ())
+    (Domain.self () :> int)
+    (Atomic.fetch_and_add counter 1)
+
+let write path f =
+  let tmp = temp_path path in
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp
+  in
+  (try
+     f oc;
+     flush oc;
+     (* Make the rename durable: without the fsync a crash shortly
+        after can leave the *renamed* file empty on some filesystems. *)
+     (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+     close_out oc
+   with e ->
+     (try close_out_noerr oc with _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with Sys_error _ as e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let write_string path s = write path (fun oc -> output_string oc s)

@@ -1,0 +1,19 @@
+(** Crash-safe (atomic) file writes.
+
+    Every writer in the tree that produces a file another run will read
+    back — schedules, hyperDAGs, metrics snapshots, bench baselines,
+    server cache entries — goes through this module: the content is
+    written to a unique temp file in the destination directory (binary
+    mode), flushed, fsync'd and only then renamed over the target.
+    A reader therefore never observes a torn or truncated file: a
+    killed writer leaves the previous complete version in place and at
+    worst an orphaned [*.tmp.*] sibling. *)
+
+val write : string -> (out_channel -> unit) -> unit
+(** [write path f] runs [f] against a temp-file channel (binary mode)
+    and atomically renames the result to [path]. If [f] raises, the
+    temp file is removed, [path] is untouched, and the exception is
+    re-raised. *)
+
+val write_string : string -> string -> unit
+(** [write_string path s] is [write path (fun oc -> output_string oc s)]. *)

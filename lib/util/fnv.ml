@@ -1,0 +1,35 @@
+(* FNV-1a, 64-bit. Chosen over [Hashtbl.hash] / [Digest] because the
+   server's content-addressed cache needs a hash that is (a) stable
+   across processes and OCaml versions — cache directories outlive the
+   binary that wrote them — and (b) defined over an explicit byte
+   stream, so "canonical DAG" means exactly the bytes we feed in and
+   nothing about in-memory representation. Not cryptographic; cache
+   keys are trust-the-writer, collision odds at 64 bits are fine for a
+   schedule cache. *)
+
+type t = int64
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let init = offset_basis
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
+(* Ints are folded as 8 little-endian bytes so negative values and
+   values above 2^32 hash consistently on every platform. *)
+let int h v =
+  let h = ref h and v = Int64.of_int v in
+  for i = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done;
+  !h
+
+let int_array h a = Array.fold_left int h a
+
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -1,0 +1,500 @@
+(* Tests for the serving stack (DESIGN.md Section 5h): the binary
+   hyperDAG format, crash-safe atomic writes, the content-addressed
+   schedule cache, the engine's hit/miss/refresh protocol, the stdio
+   framing, and the directory-queue daemon. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let tmp_dir prefix =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s.%d.%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_tmp_dir prefix f =
+  let dir = tmp_dir prefix in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let fails f =
+  match f () with
+  | _ -> false
+  | exception Failure _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Binary hyperDAG format.                                             *)
+
+(* Text -> binary -> text must be the identity: the binary decoder ends
+   in Dag.of_edges exactly like the text parser, so the canonical CSR —
+   and hence the canonical text rendering — survives unchanged. *)
+let prop_binary_roundtrip =
+  Test_util.qtest ~count:200 "binary round-trip preserves the canonical text form"
+    (Test_util.arb_dag ~max_n:40 ()) (fun g ->
+      let text = Hyperdag_io.to_string g in
+      let g2 = Hyperdag_io.of_binary_string (Hyperdag_io.to_binary_string g) in
+      Hyperdag_io.to_string g2 = text)
+
+let prop_binary_structural =
+  Test_util.qtest ~count:200 "binary round-trip preserves the structural hash"
+    (Test_util.arb_dag ~max_n:40 ()) (fun g ->
+      let g2 = Hyperdag_io.of_binary_string (Hyperdag_io.to_binary_string g) in
+      Dag.structural_hash g2 = Dag.structural_hash g)
+
+let test_binary_file_roundtrip () =
+  with_tmp_dir "bhdg" (fun dir ->
+      let g = Test_util.diamond () in
+      let path = Filename.concat dir "d.bhdag" in
+      Hyperdag_io.write_binary_file path g;
+      let g2 = Hyperdag_io.read_binary_file path in
+      check_str "file round-trip" (Hyperdag_io.to_string g) (Hyperdag_io.to_string g2);
+      (* the auto reader sniffs the magic ... *)
+      let g3 = Hyperdag_io.read_file_auto path in
+      check_str "auto reads binary" (Hyperdag_io.to_string g) (Hyperdag_io.to_string g3);
+      (* ... and still reads text *)
+      let tpath = Filename.concat dir "d.hdag" in
+      Hyperdag_io.write_file tpath g;
+      let g4 = Hyperdag_io.read_file_auto tpath in
+      check_str "auto reads text" (Hyperdag_io.to_string g) (Hyperdag_io.to_string g4))
+
+(* Every strict prefix of a valid encoding must be rejected loudly —
+   never silently decoded to a smaller DAG. *)
+let prop_binary_truncation =
+  Test_util.qtest ~count:60 "every truncation is rejected with Failure"
+    (Test_util.arb_dag ~max_n:16 ()) (fun g ->
+      let b = Hyperdag_io.to_binary_string g in
+      let ok = ref true in
+      for len = 0 to String.length b - 1 do
+        if not (fails (fun () -> Hyperdag_io.of_binary_string (String.sub b 0 len)))
+        then ok := false
+      done;
+      !ok)
+
+let test_binary_garbage () =
+  check_bool "bad magic" true
+    (fails (fun () -> Hyperdag_io.of_binary_string "NOTADAG\x00\x01"));
+  check_bool "empty input" true (fails (fun () -> Hyperdag_io.of_binary_string ""));
+  let b = Hyperdag_io.to_binary_string (Test_util.diamond ()) in
+  check_bool "trailing bytes" true
+    (fails (fun () -> Hyperdag_io.of_binary_string (b ^ "\x00")));
+  (* flip a byte in the payload: must either fail or change the DAG,
+     never quietly produce the same DAG *)
+  let payload_pos = String.length Hyperdag_io.binary_magic in
+  let corrupted = Bytes.of_string b in
+  Bytes.set corrupted payload_pos
+    (Char.chr (Char.code (Bytes.get corrupted payload_pos) lxor 0xff));
+  let same =
+    match Hyperdag_io.of_binary_string (Bytes.to_string corrupted) with
+    | g -> Hyperdag_io.to_string g = Hyperdag_io.to_string (Test_util.diamond ())
+    | exception Failure _ -> false
+  in
+  check_bool "corrupted header is not silently accepted" false same
+
+let test_binary_compact () =
+  (* sanity: the binary form of a chain is much smaller than the text *)
+  let g = Test_util.chain 500 in
+  let b = String.length (Hyperdag_io.to_binary_string g) in
+  let t = String.length (Hyperdag_io.to_string g) in
+  check_bool (Printf.sprintf "binary (%d) < text (%d) / 3" b t) true (b * 3 < t)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic writes.                                                      *)
+
+exception Boom
+
+let no_temp_leftovers dir =
+  Array.for_all
+    (fun e -> not (Test_util.contains_substring e ".tmp."))
+    (Sys.readdir dir)
+
+let test_atomic_write_crash () =
+  with_tmp_dir "atomic" (fun dir ->
+      let path = Filename.concat dir "target" in
+      Atomic_file.write_string path "previous complete version";
+      (* a writer that dies mid-write must leave the old version intact *)
+      (match
+         Atomic_file.write path (fun oc ->
+             output_string oc "partial new conte";
+             flush oc;
+             raise Boom)
+       with
+      | () -> Alcotest.fail "exception was swallowed"
+      | exception Boom -> ());
+      check_str "previous version intact" "previous complete version"
+        (In_channel.with_open_bin path In_channel.input_all);
+      check_bool "no temp leftovers" true (no_temp_leftovers dir))
+
+let test_atomic_write_fresh_crash () =
+  with_tmp_dir "atomic" (fun dir ->
+      let path = Filename.concat dir "fresh" in
+      (match Atomic_file.write path (fun _ -> raise Boom) with
+      | () -> Alcotest.fail "exception was swallowed"
+      | exception Boom -> ());
+      check_bool "target never appeared" false (Sys.file_exists path);
+      check_bool "no temp leftovers" true (no_temp_leftovers dir))
+
+let test_atomic_write_replaces () =
+  with_tmp_dir "atomic" (fun dir ->
+      let path = Filename.concat dir "target" in
+      Atomic_file.write_string path "v1";
+      Atomic_file.write_string path "v2";
+      check_str "replaced" "v2" (In_channel.with_open_bin path In_channel.input_all);
+      check_bool "no temp leftovers" true (no_temp_leftovers dir))
+
+(* ------------------------------------------------------------------ *)
+(* Cache + engine protocol.                                            *)
+
+let small_machine = Machine.uniform ~p:2 ~g:1 ~l:2
+
+let request ?(algorithm = "pipeline") ?(seconds = 0.2) ?(seed = 1)
+    ?(replicate = false) ?(machine = small_machine) ~id dag =
+  { Server.Request.id; algorithm; seconds; seed; replicate; machine; dag }
+
+let sched_bytes s = Schedule_io.to_string s
+
+let test_engine_miss_then_hit () =
+  with_tmp_dir "cache" (fun cache_dir ->
+      let dag = Test_util.diamond () in
+      let run jobs =
+        Par.with_jobs jobs (fun () ->
+            let r1 = Server.Engine.handle ~cache_dir (request ~id:"a" dag) in
+            let r2 = Server.Engine.handle ~cache_dir (request ~id:"b" dag) in
+            (r1, r2))
+      in
+      let r1, r2 = run 1 in
+      check_bool "first is a miss" true (r1.Server.Engine.status = Server.Engine.Miss);
+      check_bool "second is a hit" true (r2.Server.Engine.status = Server.Engine.Hit);
+      check "same cost" r1.Server.Engine.cost r2.Server.Engine.cost;
+      check_str "bit-identical schedule"
+        (sched_bytes r1.Server.Engine.schedule)
+        (sched_bytes r2.Server.Engine.schedule);
+      check_str "same key" r1.Server.Engine.key r2.Server.Engine.key;
+      (* jobs must not change the answer: re-run against a fresh cache
+         at jobs 4 and compare bytes with the jobs-1 answer *)
+      with_tmp_dir "cache4" (fun cache_dir4 ->
+          let r1', r2' =
+            Par.with_jobs 4 (fun () ->
+                let a =
+                  Server.Engine.handle ~cache_dir:cache_dir4 (request ~id:"a" dag)
+                in
+                let b =
+                  Server.Engine.handle ~cache_dir:cache_dir4 (request ~id:"b" dag)
+                in
+                (a, b))
+          in
+          check_str "jobs 4 miss matches jobs 1 miss"
+            (sched_bytes r1.Server.Engine.schedule)
+            (sched_bytes r1'.Server.Engine.schedule);
+          check_str "jobs 4 hit matches jobs 1 hit"
+            (sched_bytes r2.Server.Engine.schedule)
+            (sched_bytes r2'.Server.Engine.schedule)))
+
+let test_engine_refresh_tops_budget () =
+  with_tmp_dir "cache" (fun cache_dir ->
+      let dag = Test_util.random_dag (Rng.create 7) ~n:14 ~edge_prob:0.25 ~max_w:4 ~max_c:3 in
+      let r1 = Server.Engine.handle ~cache_dir (request ~id:"a" ~seconds:0.1 dag) in
+      check_bool "miss first" true (r1.Server.Engine.status = Server.Engine.Miss);
+      (* same budget again: hit *)
+      let r2 = Server.Engine.handle ~cache_dir (request ~id:"b" ~seconds:0.1 dag) in
+      check_bool "same budget hits" true (r2.Server.Engine.status = Server.Engine.Hit);
+      (* larger budget: refresh, never worse, budget topped up *)
+      let r3 = Server.Engine.handle ~cache_dir (request ~id:"c" ~seconds:0.3 dag) in
+      check_bool "larger budget refreshes" true
+        (r3.Server.Engine.status = Server.Engine.Refresh);
+      check_bool "refresh never worse" true
+        (r3.Server.Engine.cost <= r1.Server.Engine.cost);
+      (* the topped-up budget is recorded: same larger budget now hits *)
+      let r4 = Server.Engine.handle ~cache_dir (request ~id:"d" ~seconds:0.3 dag) in
+      check_bool "topped-up budget hits" true
+        (r4.Server.Engine.status = Server.Engine.Hit))
+
+let test_engine_budget_insensitive () =
+  with_tmp_dir "cache" (fun cache_dir ->
+      let dag = Test_util.diamond () in
+      let r1 =
+        Server.Engine.handle ~cache_dir
+          (request ~id:"a" ~algorithm:"source" ~seconds:0.1 dag)
+      in
+      let r2 =
+        Server.Engine.handle ~cache_dir
+          (request ~id:"b" ~algorithm:"source" ~seconds:100.0 dag)
+      in
+      check_bool "baseline never refreshes" true
+        (r2.Server.Engine.status = Server.Engine.Hit);
+      check "same cost" r1.Server.Engine.cost r2.Server.Engine.cost)
+
+let test_engine_distinct_keys () =
+  let dag = Test_util.diamond () in
+  let k r = Server.Engine.request_key r in
+  let base = request ~id:"x" dag in
+  check_bool "machine changes the key" true
+    (k base <> k (request ~id:"x" ~machine:(Machine.uniform ~p:4 ~g:1 ~l:2) dag));
+  check_bool "algorithm changes the key" true
+    (k base <> k (request ~id:"x" ~algorithm:"source" dag));
+  check_bool "replicate changes the key" true
+    (k base <> k (request ~id:"x" ~replicate:true dag));
+  check_bool "budget does NOT change the key" true
+    (k base = k (request ~id:"x" ~seconds:999.0 dag));
+  check_bool "dag changes the key" true
+    (k base <> k (request ~id:"x" (Test_util.chain 4)))
+
+let test_cache_self_heals () =
+  with_tmp_dir "cache" (fun cache_dir ->
+      let dag = Test_util.diamond () in
+      let r1 = Server.Engine.handle ~cache_dir (request ~id:"a" dag) in
+      (* corrupt the stored schedule: the entry must degrade to a miss,
+         not crash the server *)
+      Atomic_file.write_string
+        (Server.Cache.schedule_path ~dir:cache_dir r1.Server.Engine.key)
+        "garbage, not a schedule";
+      check_bool "corrupt entry is a miss" true
+        (Option.is_none
+           (Server.Cache.lookup ~dir:cache_dir ~dag r1.Server.Engine.key));
+      let r2 = Server.Engine.handle ~cache_dir (request ~id:"b" dag) in
+      check_bool "recomputed" true (r2.Server.Engine.status = Server.Engine.Miss);
+      check_str "self-healed to the same schedule"
+        (sched_bytes r1.Server.Engine.schedule)
+        (sched_bytes r2.Server.Engine.schedule))
+
+let test_engine_rejects_unknown_algorithm () =
+  with_tmp_dir "cache" (fun cache_dir ->
+      check_bool "unknown algorithm" true
+        (fails (fun () ->
+             Server.Engine.handle ~cache_dir
+               (request ~id:"a" ~algorithm:"simulated-annealing"
+                  (Test_util.diamond ())))))
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing.                                                    *)
+
+let test_request_parse_inline () =
+  let doc =
+    "% a request\nid job-1\nalgorithm source\nseconds 2.5\np 2\ng 3\nl 4\nhyperdag\n"
+    ^ Hyperdag_io.to_string (Test_util.diamond ())
+  in
+  let r = Server.Request.parse ~id:"fallback" doc in
+  check_str "id" "job-1" r.Server.Request.id;
+  check_str "algorithm" "source" r.Server.Request.algorithm;
+  check "p" 2 r.Server.Request.machine.Machine.p;
+  check "nodes" 4 (Dag.n r.Server.Request.dag);
+  check_bool "seconds" true (r.Server.Request.seconds = 2.5)
+
+let test_request_parse_errors () =
+  let dag_text = Hyperdag_io.to_string (Test_util.diamond ()) in
+  check_bool "missing dag" true
+    (fails (fun () -> Server.Request.parse ~id:"x" "p 2\n"));
+  check_bool "negative seconds" true
+    (fails (fun () ->
+         Server.Request.parse ~id:"x" ("seconds -1\nhyperdag\n" ^ dag_text)));
+  check_bool "dag path and inline together" true
+    (fails (fun () ->
+         Server.Request.parse ~id:"x" ("dag /nonexistent\nhyperdag\n" ^ dag_text)));
+  check_bool "unknown header key" true
+    (fails (fun () ->
+         Server.Request.parse ~id:"x" ("frobnicate 3\nhyperdag\n" ^ dag_text)))
+
+(* ------------------------------------------------------------------ *)
+(* Framing.                                                            *)
+
+let test_framing_roundtrip () =
+  with_tmp_dir "frames" (fun dir ->
+      let path = Filename.concat dir "frames.bin" in
+      let payloads = [ ""; "x"; String.make 70_000 'q'; "last \x00 frame" ] in
+      Out_channel.with_open_bin path (fun oc ->
+          List.iter (Server.Daemon.write_frame oc) payloads);
+      In_channel.with_open_bin path (fun ic ->
+          List.iter
+            (fun expect ->
+              match Server.Daemon.read_frame ic with
+              | Some got -> check_str "frame" expect got
+              | None -> Alcotest.fail "premature EOF")
+            payloads;
+          check_bool "clean EOF" true (Server.Daemon.read_frame ic = None)))
+
+let test_framing_truncation () =
+  with_tmp_dir "frames" (fun dir ->
+      let path = Filename.concat dir "frames.bin" in
+      Out_channel.with_open_bin path (fun oc ->
+          Server.Daemon.write_frame oc "hello world");
+      let whole = In_channel.with_open_bin path In_channel.input_all in
+      (* cut inside the header and inside the payload: both must raise *)
+      List.iter
+        (fun len ->
+          Out_channel.with_open_bin path (fun oc ->
+              output_string oc (String.sub whole 0 len));
+          check_bool
+            (Printf.sprintf "truncated at %d rejected" len)
+            true
+            (fails (fun () ->
+                 In_channel.with_open_bin path Server.Daemon.read_frame)))
+        [ 2; 7 ])
+
+(* ------------------------------------------------------------------ *)
+(* Directory-queue daemon.                                             *)
+
+let field name json =
+  match json with
+  | Obs.Json.Obj kvs -> List.assoc name kvs
+  | _ -> Alcotest.fail "response is not an object"
+
+let str_field name json =
+  match field name json with
+  | Obs.Json.String s -> s
+  | _ -> Alcotest.failf "field %s is not a string" name
+
+let int_field name json =
+  match field name json with
+  | Obs.Json.Int i -> i
+  | _ -> Alcotest.failf "field %s is not an int" name
+
+let read_json path = Obs.Json.of_string (In_channel.with_open_bin path In_channel.input_all)
+
+let write_request queue name ~seconds =
+  let body =
+    Printf.sprintf "algorithm pipeline\nseconds %g\np 2\ng 1\nl 2\nhyperdag\n%s"
+      seconds
+      (Hyperdag_io.to_string (Test_util.diamond ()))
+  in
+  Atomic_file.write_string
+    (Filename.concat (Filename.concat queue "incoming") (name ^ ".req"))
+    body
+
+let test_daemon_once () =
+  with_tmp_dir "queue" (fun queue ->
+      Unix.mkdir (Filename.concat queue "incoming") 0o755;
+      (* batch 1: two identical requests -> one miss, one coalesced *)
+      write_request queue "a" ~seconds:0.2;
+      write_request queue "b" ~seconds:0.2;
+      let config =
+        { (Server.Daemon.default_config ~queue_dir:queue) with Server.Daemon.once = true }
+      in
+      Server.Daemon.run config;
+      let resp name = read_json (Filename.concat queue ("done/" ^ name ^ ".resp.json")) in
+      let a = resp "a" and b = resp "b" in
+      check_str "a ok" "ok" (str_field "status" a);
+      check_str "a is the miss" "miss" (str_field "cache" a);
+      check_str "b coalesced onto a" "coalesced" (str_field "cache" b);
+      check "same cost" (int_field "cost" a) (int_field "cost" b);
+      let sched name =
+        In_channel.with_open_bin
+          (Filename.concat queue ("done/" ^ name ^ ".schedule"))
+          In_channel.input_all
+      in
+      check_str "identical schedule files" (sched "a") (sched "b");
+      check_bool "requests consumed" true
+        (Sys.readdir (Filename.concat queue "incoming") = [||]);
+      (* batch 2 (fresh daemon run): same instance -> cache hit,
+         bit-identical to the miss *)
+      write_request queue "c" ~seconds:0.2;
+      Server.Daemon.run config;
+      let c = resp "c" in
+      check_str "c is a hit" "hit" (str_field "cache" c);
+      check "hit cost equals miss cost" (int_field "cost" a) (int_field "cost" c);
+      check_str "hit schedule is bit-identical" (sched "a") (sched "c");
+      (* a malformed request is answered with an error, not a crash *)
+      Atomic_file.write_string
+        (Filename.concat queue "incoming/bad.req")
+        "algorithm no-such-scheduler\np 2\nhyperdag\nnot a dag";
+      Server.Daemon.run config;
+      let bad = resp "bad" in
+      check_str "bad request errors" "error" (str_field "status" bad);
+      (* metrics snapshot: 1 miss, 1 coalesced, 1 hit, 1 error over the
+         three batches *)
+      let metrics = read_json (Filename.concat queue "metrics.json") in
+      let counters = field "counters" metrics in
+      check "one miss" 1 (int_field "server.cache_misses" counters);
+      check "one coalesced" 1 (int_field "server.cache_coalesced" counters);
+      check "one hit" 1 (int_field "server.cache_hits" counters);
+      check "one error" 1 (int_field "server.errors" counters);
+      check "four requests" 4 (int_field "server.requests" counters))
+
+let test_daemon_stdio () =
+  with_tmp_dir "stdio" (fun dir ->
+      let cache_dir = Filename.concat dir "cache" in
+      let req =
+        "algorithm pipeline\nseconds 0.2\np 2\ng 1\nl 2\nhyperdag\n"
+        ^ Hyperdag_io.to_string (Test_util.diamond ())
+      in
+      let inp = Filename.concat dir "in" and out = Filename.concat dir "out" in
+      Out_channel.with_open_bin inp (fun oc ->
+          Server.Daemon.write_frame oc req;
+          Server.Daemon.write_frame oc req);
+      In_channel.with_open_bin inp (fun ic ->
+          Out_channel.with_open_bin out (fun oc ->
+              Server.Daemon.run_stdio ~cache_dir ic oc));
+      In_channel.with_open_bin out (fun ic ->
+          let r1 = Obs.Json.of_string (Option.get (Server.Daemon.read_frame ic)) in
+          let r2 = Obs.Json.of_string (Option.get (Server.Daemon.read_frame ic)) in
+          check_bool "no third frame" true (Server.Daemon.read_frame ic = None);
+          check_str "first misses" "miss" (str_field "cache" r1);
+          check_str "second hits" "hit" (str_field "cache" r2);
+          check_str "identical inline schedules" (str_field "schedule" r1)
+            (str_field "schedule" r2)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "binary-format",
+        [
+          prop_binary_roundtrip;
+          prop_binary_structural;
+          Alcotest.test_case "file round-trip and sniffing" `Quick
+            test_binary_file_roundtrip;
+          prop_binary_truncation;
+          Alcotest.test_case "garbage rejected" `Quick test_binary_garbage;
+          Alcotest.test_case "binary is compact" `Quick test_binary_compact;
+        ] );
+      ( "atomic-write",
+        [
+          Alcotest.test_case "crash mid-write keeps old version" `Quick
+            test_atomic_write_crash;
+          Alcotest.test_case "crash on fresh file leaves nothing" `Quick
+            test_atomic_write_fresh_crash;
+          Alcotest.test_case "successful write replaces" `Quick
+            test_atomic_write_replaces;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "miss then bit-identical hit, jobs 1 and 4" `Quick
+            test_engine_miss_then_hit;
+          Alcotest.test_case "refresh tops up the budget" `Quick
+            test_engine_refresh_tops_budget;
+          Alcotest.test_case "baselines never refresh" `Quick
+            test_engine_budget_insensitive;
+          Alcotest.test_case "key separates workloads, ignores budget" `Quick
+            test_engine_distinct_keys;
+          Alcotest.test_case "corrupt cache entries self-heal" `Quick
+            test_cache_self_heals;
+          Alcotest.test_case "unknown algorithm rejected" `Quick
+            test_engine_rejects_unknown_algorithm;
+        ] );
+      ( "request",
+        [
+          Alcotest.test_case "inline parse" `Quick test_request_parse_inline;
+          Alcotest.test_case "malformed requests rejected" `Quick
+            test_request_parse_errors;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "round-trip" `Quick test_framing_roundtrip;
+          Alcotest.test_case "truncation rejected" `Quick test_framing_truncation;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "queue: miss, coalesce, hit, error, metrics" `Quick
+            test_daemon_once;
+          Alcotest.test_case "stdio session" `Quick test_daemon_stdio;
+        ] );
+    ]
