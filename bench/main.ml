@@ -1251,6 +1251,165 @@ let server () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Flight-recorder overhead smoke (DESIGN.md Section 5i): the same
+   parallel hill-climbing fan-out timed with the recorder off and on,
+   alternating reps, best-of-N to shed host noise. Hard-fails when the
+   recorder-on best exceeds the recorder-off best by more than 5%, and
+   exports the final recorder-on run's per-domain Chrome trace
+   (BENCH_obs.trace.json) plus a BENCH_obs.json snapshot. *)
+
+let obs () =
+  header "Flight recorder overhead (Obs.Events off vs on)";
+  let rng = Rng.create !seed in
+  (* Many small tasks: with chunk-1 claiming the wall-time imbalance of
+     a batch is about one task, so the task count bounds the run-to-run
+     split noise the 5% overhead budget must tolerate. *)
+  let target, evals, tasks =
+    match !scale with
+    | Datasets.Smoke -> (2_000, 25_000, 64)
+    | Datasets.Default -> (4_000, 60_000, 64)
+    | Datasets.Full -> (8_000, 150_000, 96)
+  in
+  let dag =
+    Finegrained.generate_sized rng ~family:Finegrained.Exp ~shape:Finegrained.Wide
+      ~target
+  in
+  let m = Machine.uniform ~p:8 ~g:3 ~l:5 in
+  let init = Bspg.schedule m dag in
+  (* One Par batch of independent HC improvements — the portfolio shape
+     the recorder exists to explain. The overhead comparison runs it at
+     jobs=1: the sequential path still drives the per-task record path
+     (task spans via timed_task), but a single domain gives the
+     repeatable timings a 5% budget needs — at jobs>=2 the work split
+     and domain scheduling jitter alone exceed that. A separate
+     recorded jobs>=2 pass below produces the per-domain trace. *)
+  let workload j =
+    Par.with_jobs j (fun () ->
+        Par.map
+          (fun _ ->
+            let _, st = Hc.improve ~budget:(Budget.steps evals) m init in
+            st.Hc.moves_evaluated)
+          (List.init tasks (fun i -> i))
+        |> List.fold_left ( + ) 0)
+  in
+  (* Process CPU time, not wall clock: the comparison is sequential, the
+     recorder's cost is cycles, and CPU time is immune to the
+     descheduling / CPU-quota throttling that puts several percent of
+     noise on wall-clock runs of this length on shared hosts. *)
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let reps =
+    match !scale with
+    | Datasets.Smoke -> 15
+    | Datasets.Default -> 15
+    | Datasets.Full -> 20
+  in
+  Printf.eprintf "[obs] n=%d, %d tasks x %d evals, %d alternating reps...%!"
+    (Dag.n dag) tasks evals reps;
+  (* Warm-up faults the code paths in before any rep is timed. *)
+  ignore (workload 1);
+  (* Alternating OFF/ON passes; the gate compares the per-side minima.
+     The workload is deterministic, so on an otherwise-quiet CPU every
+     pass would cost the same cycles and anything on top is additive
+     contamination (co-tenant bursts, quota throttling) — which the
+     minimum filters out entirely, where a mean or median of runs this
+     short still carries percent-level noise through a hard 5% gate. *)
+  let t_off = ref infinity and t_on = ref infinity in
+  let sum_off = ref 0.0 and sum_on = ref 0.0 in
+  let moves_off = ref 0 and moves_on = ref 0 in
+  for _ = 1 to reps do
+    (* Gc.full_major before each timed run: disabling drops the
+       previous generation's ~MB-sized rings, and paying their sweep
+       inside the OFF measurement would systematically bias the
+       comparison. *)
+    Obs.Events.disable ();
+    (* Untimed warm-up pass on both sides, so each timed run sees the
+       same immediately-preceding load (under a CPU quota, the side
+       that runs hotter would otherwise absorb more throttling). On the
+       ON side the warm-up also moves the fresh generation's lazy ring
+       allocation out of the measurement, which is about the
+       steady-state record path. *)
+    ignore (workload 1);
+    Gc.full_major ();
+    let mv, t = time (fun () -> workload 1) in
+    moves_off := mv;
+    sum_off := !sum_off +. t;
+    if t < !t_off then t_off := t;
+    Obs.Events.enable ();
+    ignore (workload 1);
+    Gc.full_major ();
+    let mv, t = time (fun () -> workload 1) in
+    moves_on := mv;
+    sum_on := !sum_on +. t;
+    if t < !t_on then t_on := t;
+    Printf.eprintf " .%!"
+  done;
+  Printf.eprintf " done\n%!";
+  (* Per-domain trace: one more recorded pass on >= 2 domains (untimed —
+     only the jobs=1 comparison above is measured) so the exported
+     timeline shows the parallel machinery: queue waits, claims, idle
+     spans and GC samples on every track. *)
+  let wjobs = max (Par.jobs ()) 2 in
+  Obs.Events.enable ();
+  let moves_par = workload wjobs in
+  let recorded = Obs.Events.recorded () and dropped = Obs.Events.dropped () in
+  Obs.Events.write_chrome_trace "BENCH_obs.trace.json";
+  Obs.Events.disable ();
+  if moves_par <> !moves_off then begin
+    Printf.printf "FAIL: jobs=%d run disagrees with jobs=1 (%d vs %d moves)\n" wjobs
+      moves_par !moves_off;
+    exit 1
+  end;
+  if !moves_off <> !moves_on then begin
+    Printf.printf "FAIL: recorder changed the computed result (%d vs %d moves)\n"
+      !moves_off !moves_on;
+    exit 1
+  end;
+  let overhead = (!t_on -. !t_off) /. !t_off in
+  Printf.printf
+    "instance: exp/wide n=%d, %d tasks x %d evals, trace jobs=%d, reps=%d\n"
+    (Dag.n dag) tasks evals wjobs reps;
+  Printf.printf
+    "recorder off: %.4fs   recorder on: %.4fs CPU (best of %d)   overhead: %+.2f%%\n"
+    !t_off !t_on reps (100.0 *. overhead);
+  Printf.printf "events recorded: %d (dropped to ring wrap: %d)\n" recorded dropped;
+  Atomic_file.write "BENCH_obs.json" (fun oc ->
+      Printf.fprintf oc
+        {|{
+  "benchmark": "obs",
+  "scale": "%s",
+  "seed": %d,
+  "jobs": %d,
+  "instance": { "family": "exp", "shape": "wide", "nodes": %d },
+  "tasks": %d,
+  "eval_budget": %d,
+  "reps": %d,
+  "recorder_off_cpu_seconds_best": %.4f,
+  "recorder_on_cpu_seconds_best": %.4f,
+  "recorder_off_cpu_seconds_total": %.4f,
+  "recorder_on_cpu_seconds_total": %.4f,
+  "overhead_fraction": %.4f,
+  "events_recorded": %d,
+  "events_dropped": %d
+}
+|}
+        (Datasets.scale_name !scale) !seed wjobs (Dag.n dag) tasks evals reps !t_off
+        !t_on !sum_off !sum_on overhead recorded dropped);
+  Printf.printf "wrote BENCH_obs.json and BENCH_obs.trace.json\n";
+  if recorded = 0 then begin
+    Printf.printf "FAIL: the recorder-on run recorded no events\n";
+    exit 1
+  end;
+  if overhead > 0.05 then begin
+    Printf.printf "FAIL: flight recorder overhead %.1f%% exceeds the 5%% budget\n"
+      (100.0 *. overhead);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel stage timings (Section 8's running-time discussion).       *)
 
 let run_timing () =
@@ -1477,6 +1636,7 @@ let sections =
     ("ls_smoke", ls_smoke);
     ("localsearch", localsearch);
     ("server", server);
+    ("obs", obs);
   ]
 
 let () =

@@ -1,0 +1,186 @@
+(* Validate a Prometheus text-exposition (version 0.0.4) file as written
+   by Obs.Metrics.write_prometheus_file: every non-comment line must be a
+   well-formed sample (metric name, optional {labels}, float value),
+   every sample must belong to a family declared by a preceding # TYPE
+   line, and every histogram family must carry a le="+Inf" bucket with
+   monotone non-decreasing cumulative counts that agree with _count. CI
+   runs this against the daemon's metrics.prom snapshot.
+
+   Usage: prom_check FILE *)
+
+let usage () =
+  prerr_endline "usage: prom_check FILE";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("prom_check: " ^ s); exit 1) fmt
+
+let is_name_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+let is_label_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+let is_label_char c = is_label_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  s <> "" && is_name_start s.[0] && String.for_all is_name_char s
+
+let valid_float s =
+  match s with
+  | "+Inf" | "Inf" | "-Inf" | "NaN" -> true
+  | _ -> float_of_string_opt s <> None
+
+(* Parse a sample line into (name, labels, value). Label values use the
+   exposition escapes backslash-backslash, backslash-quote and
+   backslash-n; a timestamp after the value is tolerated per the format
+   but our writer never emits one. *)
+let parse_sample lineno line =
+  let len = String.length line in
+  let err fmt = Printf.ksprintf (fun s -> fail "line %d: %s" lineno s) fmt in
+  let i = ref 0 in
+  while !i < len && is_name_char line.[!i] do incr i done;
+  let name = String.sub line 0 !i in
+  if not (valid_name name) then err "invalid metric name in %S" line;
+  let labels = ref [] in
+  if !i < len && line.[!i] = '{' then begin
+    incr i;
+    let stop = ref false in
+    while not !stop do
+      if !i >= len then err "unterminated label set";
+      if line.[!i] = '}' then begin incr i; stop := true end
+      else begin
+        let k0 = !i in
+        while !i < len && is_label_char line.[!i] do incr i done;
+        let key = String.sub line k0 (!i - k0) in
+        if key = "" || not (is_label_start key.[0]) then
+          err "invalid label name at column %d" (k0 + 1);
+        if !i >= len || line.[!i] <> '=' then err "label %s missing '='" key;
+        incr i;
+        if !i >= len || line.[!i] <> '"' then err "label %s value is not quoted" key;
+        incr i;
+        let b = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          if !i >= len then err "label %s has an unterminated value" key;
+          (match line.[!i] with
+           | '"' -> closed := true
+           | '\\' ->
+             if !i + 1 >= len then err "label %s ends in a bare backslash" key;
+             incr i;
+             (match line.[!i] with
+              | '\\' -> Buffer.add_char b '\\'
+              | '"' -> Buffer.add_char b '"'
+              | 'n' -> Buffer.add_char b '\n'
+              | c -> err "label %s has an invalid escape \\%c" key c)
+           | c -> Buffer.add_char b c);
+          incr i
+        done;
+        labels := (key, Buffer.contents b) :: !labels;
+        if !i < len && line.[!i] = ',' then incr i
+        else if !i >= len || line.[!i] <> '}' then
+          err "label %s is not followed by ',' or '}'" key
+      end
+    done
+  end;
+  if !i >= len || line.[!i] <> ' ' then err "missing space before value in %S" line;
+  let rest =
+    String.sub line !i (len - !i) |> String.split_on_char ' '
+    |> List.filter (fun s -> s <> "")
+  in
+  match rest with
+  | [ v ] | [ v; _ ] ->
+    if not (valid_float v) then err "invalid sample value %S" v;
+    (name, List.rev !labels, v)
+  | _ -> err "expected 'name{labels} value [timestamp]', got %S" line
+
+let () =
+  let file =
+    match Array.to_list Sys.argv with [ _; f ] -> f | _ -> usage ()
+  in
+  let contents = In_channel.with_open_bin file In_channel.input_all in
+  let types = Hashtbl.create 16 in
+  (* base histogram name -> (last cumulative bucket count, saw +Inf,
+     +Inf count) in file order *)
+  let buckets = Hashtbl.create 16 in
+  let counts = Hashtbl.create 16 in
+  let samples = ref 0 in
+  let lines = String.split_on_char '\n' contents in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line = "" then ()
+      else if line.[0] = '#' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | "#" :: "TYPE" :: name :: [ ty ] ->
+          if not (valid_name name) then fail "line %d: invalid TYPE name %s" lineno name;
+          if not (List.mem ty [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+          then fail "line %d: unknown metric type %s" lineno ty;
+          if Hashtbl.mem types name then
+            fail "line %d: duplicate TYPE declaration for %s" lineno name;
+          Hashtbl.replace types name ty
+        | "#" :: "TYPE" :: _ -> fail "line %d: malformed TYPE comment" lineno
+        | _ -> () (* HELP and free comments *)
+      end
+      else begin
+        let name, labels, value = parse_sample lineno line in
+        incr samples;
+        let family_of suffix =
+          let sl = String.length suffix and nl = String.length name in
+          if nl > sl && String.sub name (nl - sl) sl = suffix then
+            let base = String.sub name 0 (nl - sl) in
+            match Hashtbl.find_opt types base with
+            | Some ("histogram" | "summary") -> Some base
+            | _ -> None
+          else None
+        in
+        match Hashtbl.find_opt types name with
+        | Some _ -> ()
+        | None ->
+          (match family_of "_bucket" with
+           | Some base ->
+             let le =
+               match List.assoc_opt "le" labels with
+               | Some le -> le
+               | None -> fail "line %d: %s_bucket sample without le label" lineno base
+             in
+             let c =
+               match int_of_string_opt value with
+               | Some c when c >= 0 -> c
+               | _ ->
+                 fail "line %d: bucket count must be a non-negative integer, got %s"
+                   lineno value
+             in
+             let prev, saw_inf, inf_c =
+               Option.value ~default:(0, false, 0) (Hashtbl.find_opt buckets base)
+             in
+             if c < prev then
+               fail "line %d: %s_bucket counts are not cumulative (%d after %d)"
+                 lineno base c prev;
+             if saw_inf then
+               fail "line %d: %s_bucket after the le=\"+Inf\" bound" lineno base;
+             let is_inf = le = "+Inf" in
+             if not (is_inf || valid_float le) then
+               fail "line %d: invalid le bound %S" lineno le;
+             Hashtbl.replace buckets base (c, is_inf, if is_inf then c else inf_c)
+           | None ->
+             (match (family_of "_sum", family_of "_count") with
+              | Some _, _ -> ()
+              | _, Some base ->
+                (match int_of_string_opt value with
+                 | Some c -> Hashtbl.replace counts base c
+                 | None ->
+                   fail "line %d: %s_count must be an integer, got %s" lineno base
+                     value)
+              | None, None ->
+                fail "line %d: sample %s has no preceding TYPE declaration" lineno name))
+      end)
+    lines;
+  if !samples = 0 then fail "%s contains no samples" file;
+  Hashtbl.iter
+    (fun base (_, saw_inf, inf_c) ->
+      if not saw_inf then fail "histogram %s has no le=\"+Inf\" bucket" base;
+      match Hashtbl.find_opt counts base with
+      | Some c when c <> inf_c ->
+        fail "histogram %s: _count %d disagrees with the +Inf bucket %d" base c inf_c
+      | _ -> ())
+    buckets;
+  Printf.printf "prom_check: %s OK (%d samples, %d families, %d histograms)\n" file
+    !samples (Hashtbl.length types) (Hashtbl.length buckets)

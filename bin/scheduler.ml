@@ -17,8 +17,14 @@ let install_trace registry =
           m "stage %-24s %8.3fs %10d steps" path seconds steps))
 
 let run input p g l delta machine_file algorithm seconds output seed quiet show metrics
-    trace profile chrome_trace jobs replicate =
+    trace profile chrome_trace flight_record jobs replicate =
   Par.set_jobs jobs;
+  (match flight_record with
+   | None -> ()
+   | Some path ->
+     Obs.Events.enable ();
+     (* Crash insurance: if the run dies, at_exit still dumps the trace. *)
+     Obs.Events.set_dump_on_exit path);
   let registry =
     if metrics <> None || trace then begin
       let r = Obs.Metrics.create () in
@@ -70,6 +76,13 @@ let run input p g l delta machine_file algorithm seconds output seed quiet show 
      Trace_export.write_file path machine schedule;
      if not quiet then
        Printf.printf "chrome trace written to %s (open in ui.perfetto.dev)\n" path);
+  (match flight_record with
+   | None -> ()
+   | Some path ->
+     Obs.Events.write_chrome_trace path;
+     Obs.Events.clear_dump_on_exit ();
+     if not quiet then
+       Printf.printf "flight recording written to %s (open in ui.perfetto.dev)\n" path);
   (match output with
    | None -> ()
    | Some path ->
@@ -173,6 +186,18 @@ let chrome_trace =
            processor with compute and communication slices per superstep. Open in \
            ui.perfetto.dev or chrome://tracing.")
 
+let flight_record =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-record" ] ~docv:"FILE"
+        ~doc:
+          "Enable the per-domain flight recorder (Obs.Events) and write its wall-clock \
+           Chrome trace_event timeline to $(docv): one track per domain with task runs \
+           split from queue waits, batch claims and GC counter samples. Written on \
+           completion and, as crash insurance, from an at_exit hook. Open in \
+           ui.perfetto.dev.")
+
 let jobs =
   Arg.(
     value
@@ -197,12 +222,28 @@ let replicate =
 (* ------------------------------------------------------------------ *)
 (* serve subcommand *)
 
-let serve queue_dir cache_dir poll once stdio metrics_file no_metrics request_trace
-    trace jobs =
+let serve queue_dir cache_dir poll once stdio metrics_file no_metrics prometheus_file
+    flight_record request_trace trace jobs =
   Par.set_jobs jobs;
   let registry = Obs.Metrics.create () in
   Obs.Metrics.install registry;
   if trace then install_trace registry;
+  (match flight_record with
+   | None -> ()
+   | Some path ->
+     Obs.Events.enable ();
+     (* at_exit dump covers SIGINT/crash; a clean shutdown writes below. *)
+     Obs.Events.set_dump_on_exit path);
+  let finish_flight () =
+    match flight_record with
+    | None -> ()
+    | Some path ->
+      Obs.Events.write_chrome_trace path;
+      Obs.Events.clear_dump_on_exit ();
+      (* stderr: in --stdio mode stdout carries the reply frames. *)
+      Printf.eprintf "flight recording written to %s (open in ui.perfetto.dev)\n%!"
+        path
+  in
   if stdio then begin
     let cache_dir =
       match (cache_dir, queue_dir) with
@@ -210,7 +251,8 @@ let serve queue_dir cache_dir poll once stdio metrics_file no_metrics request_tr
       | None, Some q -> Filename.concat q "cache"
       | None, None -> "bsp-schedule-cache"
     in
-    Server.Daemon.run_stdio ~cache_dir stdin stdout
+    Server.Daemon.run_stdio ~cache_dir stdin stdout;
+    finish_flight ()
   end
   else begin
     let queue_dir =
@@ -234,10 +276,17 @@ let serve queue_dir cache_dir poll once stdio metrics_file no_metrics request_tr
              Some
                (Option.value ~default:(Filename.concat queue_dir "metrics.json")
                   metrics_file));
+        prometheus_file =
+          (if no_metrics then None
+           else
+             Some
+               (Option.value ~default:(Filename.concat queue_dir "metrics.prom")
+                  prometheus_file));
         request_trace_file = request_trace;
       }
     in
-    Server.Daemon.run config
+    Server.Daemon.run config;
+    finish_flight ()
   end
 
 let queue_dir =
@@ -292,7 +341,21 @@ let serve_metrics =
            depth, per-request latency series.")
 
 let no_metrics =
-  Arg.(value & flag & info [ "no-metrics" ] ~doc:"Disable the metrics snapshot file.")
+  Arg.(
+    value & flag
+    & info [ "no-metrics" ]
+        ~doc:"Disable the metrics snapshot files (both JSON and Prometheus).")
+
+let serve_prometheus =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prometheus" ] ~docv:"FILE"
+        ~doc:
+          "Prometheus text-exposition snapshot location (default \
+           $(i,QUEUE)/metrics.prom), refreshed atomically alongside the JSON metrics \
+           after every batch — point a node_exporter textfile collector or any \
+           file-scraping agent at it.")
 
 let request_trace =
   Arg.(
@@ -315,7 +378,8 @@ let serve_cmd =
     (Cmd.info "scheduler serve" ~doc)
     Term.(
       const serve $ queue_dir $ cache_dir_arg $ poll $ once $ stdio $ serve_metrics
-      $ no_metrics $ request_trace $ serve_trace $ jobs)
+      $ no_metrics $ serve_prometheus $ flight_record $ request_trace $ serve_trace
+      $ jobs)
 
 let run_cmd =
   let doc = "schedule a computational DAG in the BSP+NUMA model" in
@@ -332,8 +396,8 @@ let run_cmd =
     (Cmd.info "scheduler" ~doc ~man)
     Term.(
       const run $ input $ p $ g $ l $ delta $ machine_file $ algorithm $ seconds
-      $ output $ seed $ quiet $ show $ metrics $ trace $ profile $ chrome_trace $ jobs
-      $ replicate)
+      $ output $ seed $ quiet $ show $ metrics $ trace $ profile $ chrome_trace
+      $ flight_record $ jobs $ replicate)
 
 (* cmdliner groups route the first positional to a sub-command name, which
    would swallow the INPUT argument of the plain one-shot form — dispatch on

@@ -1,0 +1,5 @@
+(* The observability layer's face of the process-wide time source; the
+   implementation lives in bsp_util (Time_source) so that Budget — one
+   layer below obs — can share it. *)
+
+include Time_source

@@ -1,0 +1,27 @@
+(** Pluggable wall-clock for the observability stack (DESIGN.md
+    Section 5i).
+
+    Every timing measurement in the repo — {!Metrics.span},
+    [Budget.seconds] deadlines, {!Events} timestamps, the daemon's
+    latency histogram and uptime — reads time through {!now}. Tests
+    install a deterministic fake source with {!with_source} and assert
+    exact durations.
+
+    This is a re-export of [Time_source] (bsp_util), which exists one
+    layer down so [Budget] can share the same source. *)
+
+val real : unit -> float
+(** The default source: [Unix.gettimeofday]. *)
+
+val now : unit -> float
+(** The current time according to the installed source. *)
+
+val set : (unit -> float) -> unit
+(** Replace the process-wide time source. *)
+
+val reset : unit -> unit
+(** Restore {!real}. *)
+
+val with_source : (unit -> float) -> (unit -> 'a) -> 'a
+(** Run the callback with the source temporarily replaced
+    (exception-safe restore of the previous source). *)

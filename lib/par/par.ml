@@ -16,6 +16,19 @@
    right. Scheduling nondeterminism therefore never reaches the
    caller. *)
 
+(* Flight-recorder event kinds (interned once; recording is a no-op
+   while Obs.Events is disabled). "task" and "queue_wait" are spans,
+   "claim"/"batch" instants, the gc_* kinds counter samples taken from
+   the Gc.quick_stat deltas each drain already measures. *)
+let k_task = Obs.Events.register_kind "task"
+let k_queue_wait = Obs.Events.register_kind "queue_wait"
+let k_idle = Obs.Events.register_kind "idle"
+let k_claim = Obs.Events.register_kind "claim"
+let k_batch = Obs.Events.register_kind "batch"
+let k_gc_minor_words = Obs.Events.register_kind "gc_minor_words"
+let k_gc_minor = Obs.Events.register_kind "gc_minor_collections"
+let k_gc_major = Obs.Events.register_kind "gc_major_collections"
+
 let default_jobs () =
   match Sys.getenv_opt "BSP_JOBS" with
   | Some s ->
@@ -201,6 +214,7 @@ let drain b =
     if i0 >= b.count then continue_ := false
     else begin
       let hi = min b.count (i0 + b.chunk) in
+      Obs.Events.instant ~arg:(hi - i0) k_claim;
       for i = i0 to hi - 1 do
         b.run i
       done;
@@ -223,7 +237,13 @@ let drain b =
       + (t1.Gc.minor_collections - t0.Gc.minor_collections));
     Atomic.set s.s_major_collections
       (Atomic.get s.s_major_collections
-      + (t1.Gc.major_collections - t0.Gc.major_collections))
+      + (t1.Gc.major_collections - t0.Gc.major_collections));
+    Obs.Events.sample k_gc_minor_words
+      (int_of_float (t1.Gc.minor_words -. t0.Gc.minor_words));
+    Obs.Events.sample k_gc_minor
+      (t1.Gc.minor_collections - t0.Gc.minor_collections);
+    Obs.Events.sample k_gc_major
+      (t1.Gc.major_collections - t0.Gc.major_collections)
   end
 
 (* Once a batch has no unclaimed tasks left, unlink it so workers go
@@ -240,6 +260,7 @@ let worker () =
   Domain.DLS.set in_worker true;
   tune_gc ();
   let rec loop () =
+    Obs.Events.begin_ k_idle;
     Mutex.lock pool_m;
     let rec await () =
       if !shutdown then None
@@ -252,6 +273,7 @@ let worker () =
     in
     let b = await () in
     Mutex.unlock pool_m;
+    Obs.Events.end_ k_idle;
     match b with
     | None -> ()
     | Some b ->
@@ -292,22 +314,63 @@ type 'b cell = Pending | Done of 'b | Raised of exn * Printexc.raw_backtrace
 (* One function applied to an input array, instead of an array of
    thunks: submitting a batch allocates no per-task closure, and the
    shared [run] closure captures everything the tasks need once. *)
+(* Task timing records into the ambient registry (the child, inside a
+   parallel task) and the flight recorder. The sequential path records
+   the same "par.task_seconds" observations whenever a registry is
+   installed, so histogram counts match across jobs settings;
+   "par.queue_wait_seconds" exists only on the parallel path — at
+   jobs=1 nothing ever waits. Uninstrumented runs (no registry, no
+   recorder) skip every clock read. *)
+let timed_task ~index f x =
+  let t_start = Obs.Clock.now () in
+  Obs.Events.begin_ ~arg:index k_task;
+  let finish () =
+    let t_stop = Obs.Clock.now () in
+    Obs.Events.end_ ~arg:index k_task;
+    Obs.Metrics.histogram "par.task_seconds" (t_stop -. t_start)
+  in
+  match f x with
+  | y ->
+    finish ();
+    y
+  | exception e ->
+    finish ();
+    raise e
+
 let run_batch (f : 'a -> 'b) (inputs : 'a array) : 'b array =
   let n = Array.length inputs in
   let j = jobs () in
   if j <= 1 || n <= 1 || Domain.DLS.get in_worker then
     (* The sequential path is byte-for-byte the pre-parallel behaviour:
        tasks run in order on this domain against the ambient registry,
-       no children, no merge. *)
-    Array.map f inputs
+       no children, no merge. Instrumentation only adds task timing
+       around each call. *)
+    if Obs.Metrics.current () = None && not (Obs.Events.enabled ()) then
+      Array.map f inputs
+    else Array.mapi (fun i x -> timed_task ~index:i f x) inputs
   else begin
     tune_gc ();
     let parent = Obs.Metrics.current () in
+    let instrumented = parent <> None || Obs.Events.enabled () in
+    let submit_ts = if instrumented then Obs.Clock.now () else 0.0 in
+    if instrumented then Obs.Events.instant ~arg:n k_batch;
     let children = Array.init n (fun _ -> Option.map Obs.Metrics.create_child parent) in
     let results = Array.make n Pending in
     let run i =
       let exec () =
         try Done (f inputs.(i)) with e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      let exec () =
+        if not instrumented then exec ()
+        else begin
+          (* The queue wait is known exactly once the task starts:
+             backfill it as a span from batch submission to now, then
+             time the run itself. *)
+          let t_start = Obs.Clock.now () in
+          Obs.Events.span_at ~arg:i k_queue_wait ~start:submit_ts ~stop:t_start;
+          Obs.Metrics.histogram "par.queue_wait_seconds" (t_start -. submit_ts);
+          timed_task ~index:i exec ()
+        end
       in
       let r =
         match children.(i) with

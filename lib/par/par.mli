@@ -38,7 +38,22 @@
 
     {b Budgets.} {!Budget.t} values are not domain-safe; create each
     stage budget {i inside} the task that consumes it (the pipeline
-    already does), which also makes wall-clock caps per-task. *)
+    already does), which also makes wall-clock caps per-task.
+
+    {b Flight recording.} When {!Obs.Events} is enabled, every batch
+    records into the per-domain rings: a "batch" instant at
+    submission, a "claim" instant per work-claim, a "queue_wait" span
+    from submission to each task's start, a "task" span per task run
+    (arg = submission index), "idle" spans while workers wait for
+    work, and gc_minor_words / gc_minor_collections /
+    gc_major_collections counter samples from the per-drain
+    [Gc.quick_stat] deltas — so a Perfetto timeline shows run vs wait
+    vs GC per domain. Independently, when a metrics registry is
+    installed, per-task wall-clock runtimes are observed into the
+    "par.task_seconds" histogram (at {i every} jobs setting, so counts
+    are comparable) and parallel-path queue waits into
+    "par.queue_wait_seconds". With both disabled the hot path reads no
+    clocks. *)
 
 val default_jobs : unit -> int
 (** The initial jobs setting: the value of the [BSP_JOBS] environment

@@ -4,6 +4,7 @@ type config = {
   poll_seconds : float;
   once : bool;
   metrics_file : string option;
+  prometheus_file : string option;
   request_trace_file : string option;
 }
 
@@ -14,6 +15,7 @@ let default_config ~queue_dir =
     poll_seconds = 0.05;
     once = false;
     metrics_file = Some (Filename.concat queue_dir "metrics.json");
+    prometheus_file = Some (Filename.concat queue_dir "metrics.prom");
     request_trace_file = None;
   }
 
@@ -51,6 +53,55 @@ let ok_json ~id ~cache ~key ~cost ~supersteps ~seconds extra =
        ("seconds", Obs.Json.Float seconds);
      ]
     @ extra)
+
+(* The live telemetry snapshot a [stats] probe is answered with:
+   counters/gauges/histograms straight from the metrics registry (the
+   histogram members carry count/sum/min/max and p50/p90/p99), the
+   cache hit ratio over actual cache lookups (hits vs misses and
+   refreshes; coalesced followers never looked up), uptime, and the
+   per-domain Par pool accumulators — tasks, batches, GC pressure. *)
+let stats_json ~registry ~t0 ~id =
+  let snapshot = Obs.Metrics.to_json registry in
+  let section k =
+    Option.value ~default:(Obs.Json.Obj []) (Obs.Json.member k snapshot)
+  in
+  let c name = Obs.Metrics.counter_value registry name in
+  let hits = c "server.cache_hits" in
+  let lookups = hits + c "server.cache_misses" + c "server.cache_refreshes" in
+  let hit_ratio =
+    if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
+  in
+  let domain (d : Par.domain_stats) =
+    Obs.Json.Obj
+      [
+        ("domain", Obs.Json.Int d.Par.domain_index);
+        ("worker", Obs.Json.Bool d.Par.is_worker);
+        ("tasks_run", Obs.Json.Int d.Par.tasks_run);
+        ("batches_drained", Obs.Json.Int d.Par.batches_drained);
+        ("minor_words", Obs.Json.Float d.Par.minor_words);
+        ("promoted_words", Obs.Json.Float d.Par.promoted_words);
+        ("minor_collections", Obs.Json.Int d.Par.minor_collections);
+        ("major_collections", Obs.Json.Int d.Par.major_collections);
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.String id);
+      ("status", Obs.Json.String "ok");
+      ("type", Obs.Json.String "stats");
+      ("uptime_seconds", Obs.Json.Float (Obs.Clock.now () -. t0));
+      ("cache_hit_ratio", Obs.Json.Float hit_ratio);
+      ("counters", section "counters");
+      ("gauges", section "gauges");
+      ("histograms", section "histograms");
+      ("series_dropped", section "series_dropped");
+      ( "pool",
+        Obs.Json.Obj
+          [
+            ("jobs", Obs.Json.Int (Par.jobs ()));
+            ("domains", Obs.Json.List (List.map domain (Par.stats ())));
+          ] );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Directory queue. *)
@@ -104,9 +155,11 @@ let write_request_trace path events =
    then write every response (schedule first, response JSON second,
    request file removed last — a crash at any point either leaves the
    request queued for reprocessing, which the cache then answers, or
-   fully answered; never half-answered). *)
-let process_batch cfg ~t0 ~trace_events names =
+   fully answered; never half-answered). Stats probes are answered
+   inline from the live registry before the scheduling work runs. *)
+let process_batch cfg ~registry ~t0 ~trace_events names =
   Obs.Metrics.counter "server.batches" 1;
+  Obs.Metrics.gauge_max "server.queue_depth_peak" (float_of_int (List.length names));
   let incoming = incoming_dir cfg and finished = done_dir cfg in
   let parsed =
     List.map
@@ -115,7 +168,7 @@ let process_batch cfg ~t0 ~trace_events names =
         let path = Filename.concat incoming name in
         match
           let text = In_channel.with_open_bin path In_channel.input_all in
-          Request.parse ~base_dir:incoming ~id:base text
+          Request.parse_any ~base_dir:incoming ~id:base text
         with
         | req -> (name, base, Ok req)
         | exception (Failure msg | Sys_error msg) -> (name, base, Error msg))
@@ -126,8 +179,8 @@ let process_batch cfg ~t0 ~trace_events names =
   List.iter
     (fun (name, _base, r) ->
       match r with
-      | Error _ -> ()
-      | Ok req ->
+      | Error _ | Ok (Request.Stats _) -> ()
+      | Ok (Request.Schedule req) ->
         let key = Engine.request_key req in
         if not (Hashtbl.mem leader_of key) then begin
           Hashtbl.add leader_of key name;
@@ -137,7 +190,7 @@ let process_batch cfg ~t0 ~trace_events names =
   let results =
     Par.map
       (fun (key, req) ->
-        let t_start = Unix.gettimeofday () in
+        let t_start = Obs.Clock.now () in
         let outcome =
           match
             Obs.Metrics.with_span "server/request" (fun () ->
@@ -146,7 +199,7 @@ let process_batch cfg ~t0 ~trace_events names =
           | r -> Ok r
           | exception (Failure msg | Sys_error msg) -> Error msg
         in
-        (key, outcome, t_start, Unix.gettimeofday () -. t_start))
+        (key, outcome, t_start, Obs.Clock.now () -. t_start))
       (List.rev !leaders)
   in
   let result_of_key = Hashtbl.create 16 in
@@ -162,10 +215,17 @@ let process_batch cfg ~t0 ~trace_events names =
   in
   List.iter
     (fun (name, base, r) ->
-      Obs.Metrics.counter "server.requests" 1;
       (match r with
-       | Error msg -> respond_error ~base ~id:base msg
-       | Ok req ->
+       | Error msg ->
+         Obs.Metrics.counter "server.requests" 1;
+         respond_error ~base ~id:base msg
+       | Ok (Request.Stats { Request.stats_id }) ->
+         Obs.Metrics.counter "server.stats_requests" 1;
+         Atomic_file.write_string
+           (Filename.concat finished (base ^ ".resp.json"))
+           (Obs.Json.to_string (stats_json ~registry ~t0 ~id:stats_id) ^ "\n")
+       | Ok (Request.Schedule req) ->
+         Obs.Metrics.counter "server.requests" 1;
          let key = Engine.request_key req in
          let outcome, t_start, dt = Hashtbl.find result_of_key key in
          (match outcome with
@@ -178,8 +238,10 @@ let process_batch cfg ~t0 ~trace_events names =
             in
             Obs.Metrics.counter (counter_of_label cache_label) 1;
             let seconds = if is_leader then dt else 0.0 in
-            Obs.Metrics.series_point "server.request_seconds" ~label:req.Request.id
-              seconds;
+            (* Latency distribution, not an unbounded per-request
+               series: coalesced followers waited out the same handling
+               as their leader, so they observe the leader's [dt]. *)
+            Obs.Metrics.histogram "server.request_seconds" dt;
             let sched_rel = Filename.concat "done" (base ^ ".schedule") in
             Schedule_io.write_file
               (Filename.concat finished (base ^ ".schedule"))
@@ -218,10 +280,15 @@ let run cfg =
       Obs.Metrics.install r;
       r
   in
+  let t0 = Obs.Clock.now () in
+  (* Both snapshot formats refresh together, after every batch and at
+     shutdown, each through Atomic_file — a scraper reading
+     metrics.prom never sees a partial exposition. *)
   let write_metrics () =
-    Option.iter (Obs.Metrics.write_json_file registry) cfg.metrics_file
+    Obs.Metrics.gauge "server.uptime_seconds" (Obs.Clock.now () -. t0);
+    Option.iter (Obs.Metrics.write_json_file registry) cfg.metrics_file;
+    Option.iter (Obs.Metrics.write_prometheus_file registry) cfg.prometheus_file
   in
-  let t0 = Unix.gettimeofday () in
   let trace_events = ref [] in
   let interrupted = ref false in
   let old_term = ref None and old_int = ref None in
@@ -238,9 +305,11 @@ let run cfg =
   Fun.protect ~finally:restore (fun () ->
       let rec loop () =
         let pending = scan cfg in
-        Obs.Metrics.gauge "server.queue_depth" (float_of_int (List.length pending));
+        let depth = float_of_int (List.length pending) in
+        Obs.Metrics.gauge "server.queue_depth" depth;
+        Obs.Metrics.gauge_max "server.queue_depth_peak" depth;
         if pending <> [] && not !interrupted then begin
-          process_batch cfg ~t0 ~trace_events pending;
+          process_batch cfg ~registry ~t0 ~trace_events pending;
           write_metrics ();
           loop ()
         end
@@ -253,7 +322,6 @@ let run cfg =
         end
       in
       loop ();
-      Obs.Metrics.gauge "server.uptime_seconds" (Unix.gettimeofday () -. t0);
       write_metrics ();
       Option.iter
         (fun path -> write_request_trace path (List.rev !trace_events))
@@ -301,28 +369,39 @@ let run_stdio ~cache_dir ic oc =
   set_binary_mode_in ic true;
   set_binary_mode_out oc true;
   mkdir_p cache_dir;
+  let registry =
+    match Obs.Metrics.current () with
+    | Some r -> r
+    | None ->
+      let r = Obs.Metrics.create () in
+      Obs.Metrics.install r;
+      r
+  in
+  let t0 = Obs.Clock.now () in
   let count = ref 0 in
   let rec loop () =
     match read_frame ic with
     | None -> ()
     | Some payload ->
       incr count;
-      Obs.Metrics.counter "server.requests" 1;
+      let fallback_id = Printf.sprintf "stdio-%d" !count in
       let json =
-        match
-          let req =
-            Request.parse ~id:(Printf.sprintf "stdio-%d" !count) payload
-          in
-          let t_start = Unix.gettimeofday () in
+        match Request.parse_any ~id:fallback_id payload with
+        | Request.Stats { Request.stats_id } ->
+          Obs.Metrics.counter "server.stats_requests" 1;
+          stats_json ~registry ~t0 ~id:stats_id
+        | Request.Schedule req ->
+          Obs.Metrics.counter "server.requests" 1;
+          let t_start = Obs.Clock.now () in
           let res =
             Obs.Metrics.with_span "server/request" (fun () ->
                 Engine.handle ~cache_dir req)
           in
-          let dt = Unix.gettimeofday () -. t_start in
+          let dt = Obs.Clock.now () -. t_start in
           Obs.Metrics.counter
             (counter_of_label (Engine.status_label res.Engine.status))
             1;
-          Obs.Metrics.series_point "server.request_seconds" ~label:req.Request.id dt;
+          Obs.Metrics.histogram "server.request_seconds" dt;
           ok_json ~id:req.Request.id
             ~cache:(Engine.status_label res.Engine.status)
             ~key:res.Engine.key ~cost:res.Engine.cost
@@ -332,11 +411,10 @@ let run_stdio ~cache_dir ic oc =
               ( "schedule",
                 Obs.Json.String (Schedule_io.to_string res.Engine.schedule) );
             ]
-        with
-        | json -> json
         | exception (Failure msg | Sys_error msg) ->
+          Obs.Metrics.counter "server.requests" 1;
           Obs.Metrics.counter "server.errors" 1;
-          error_json ~id:(Printf.sprintf "stdio-%d" !count) msg
+          error_json ~id:fallback_id msg
       in
       write_frame oc (Obs.Json.to_string_compact json);
       loop ()

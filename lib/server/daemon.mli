@@ -1,5 +1,5 @@
 (** The long-running batch scheduler — [scheduler serve] (DESIGN.md
-    Section 5h).
+    Sections 5h, 5i).
 
     {b Directory queue.} A queue directory holds:
 
@@ -9,6 +9,7 @@
     <queue>/done/NAME.schedule    the schedule (Schedule_io format)
     <queue>/stop                  touch to request clean shutdown
     <queue>/metrics.json          Obs.Metrics snapshot (configurable)
+    <queue>/metrics.prom          Prometheus text exposition (configurable)
     v}
 
     The loop scans [incoming/] (lexicographic order), treats everything
@@ -28,15 +29,33 @@
     followers) and [schedule_file] (queue-relative), or [error] with a
     message.
 
-    {b Observability.} Counters [server.requests], [server.batches],
+    {b Stats probes.} A request whose first directive is the bare word
+    [stats] (see {!Request.parsed}) is answered inline — no scheduling
+    work, no cache — with a live telemetry snapshot: [uptime_seconds],
+    [cache_hit_ratio] (hits over actual cache lookups), the registry's
+    [counters], [gauges] and [histograms] (each histogram with
+    count/sum/min/max, p50/p90/p99 quantiles and its non-empty
+    buckets), [series_dropped], and [pool] — the jobs setting plus
+    per-domain {!Par.stats} accumulators (tasks, batches, GC pressure).
+    Works identically over the directory queue and the stdio framing.
+
+    {b Observability.} Counters [server.requests] (scheduling requests
+    and errors), [server.stats_requests], [server.batches],
     [server.cache_hits]/[_misses]/[_refreshes]/[_coalesced],
-    [server.errors]; gauges [server.queue_depth] and
-    [server.uptime_seconds]; per-request latency as the
-    [server.request_seconds] series — recorded through the ambient
-    {!Obs.Metrics} registry (one is installed if absent) and snapshot
-    to [metrics_file] after every batch. [request_trace_file] writes a
-    Chrome trace_event timeline of the request loop (one X slice per
-    served request, cache status in [args]) at shutdown.
+    [server.errors]; gauges [server.queue_depth],
+    [server.queue_depth_peak] ([set_max]: the deepest queue ever
+    scanned, also bumped per batch) and [server.uptime_seconds];
+    per-request latency as the [server.request_seconds] {b histogram}
+    (bounded memory — coalesced followers observe their leader's
+    handling time, since that is the wall time they waited). Snapshots
+    are written through the ambient {!Obs.Metrics} registry (one is
+    installed if absent) after every batch and at shutdown:
+    [metrics_file] as JSON, [prometheus_file] as Prometheus text
+    exposition — both via [Atomic_file], so scrapers never read a
+    partial file. [request_trace_file] writes a Chrome trace_event
+    timeline of the request loop (one X slice per served request,
+    cache status in [args]) at shutdown. All daemon timing reads
+    {!Obs.Clock}.
 
     {b Shutdown.} Touching [<queue>/stop], SIGTERM or SIGINT all stop
     the loop after the in-flight batch; remaining metrics and trace are
@@ -48,12 +67,16 @@ type config = {
   poll_seconds : float;  (** sleep between empty scans *)
   once : bool;  (** drain the queue, then exit instead of polling *)
   metrics_file : string option;
+  prometheus_file : string option;
+      (** Prometheus text-exposition snapshot, refreshed with
+          [metrics_file] *)
   request_trace_file : string option;
 }
 
 val default_config : queue_dir:string -> config
 (** Cache in [<queue>/cache], 50 ms poll, metrics to
-    [<queue>/metrics.json], no request trace, [once = false]. *)
+    [<queue>/metrics.json], Prometheus to [<queue>/metrics.prom], no
+    request trace, [once = false]. *)
 
 val run : config -> unit
 (** Run the daemon until a shutdown condition. Creates the queue and
@@ -65,8 +88,9 @@ val run : config -> unit
     is a 4-byte big-endian payload length followed by the payload. A
     request frame carries a {!Request} document; the reply frame
     carries the response JSON with the schedule inlined under
-    ["schedule"]. EOF at a frame boundary ends the session; a truncated
-    frame raises [Failure]. *)
+    ["schedule"], or the stats snapshot for a stats probe. EOF at a
+    frame boundary ends the session; a truncated frame raises
+    [Failure]. *)
 
 val read_frame : in_channel -> string option
 val write_frame : out_channel -> string -> unit

@@ -96,3 +96,29 @@ let parse ?(base_dir = ".") ~id text =
     machine;
     dag;
   }
+
+type stats_request = { stats_id : string }
+type parsed = Schedule of t | Stats of stats_request
+
+(* A stats probe is a header-only document whose first directive is the
+   bare word [stats]; an optional [id] line (and comments/blanks) may
+   precede it. Anything else is a scheduling request and goes through
+   the full parser — so a malformed scheduling request still fails with
+   the scheduling parser's message, not a confusing stats one. *)
+let parse_any ?base_dir ~id text =
+  let rec scan id = function
+    | [] -> None
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '%' then scan id rest
+      else (
+        match
+          String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "")
+        with
+        | [ "id"; v ] -> scan v rest
+        | [ "stats" ] -> Some id
+        | _ -> None)
+  in
+  match scan id (String.split_on_char '\n' text) with
+  | Some stats_id -> Stats { stats_id }
+  | None -> Schedule (parse ?base_dir ~id text)

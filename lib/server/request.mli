@@ -41,3 +41,24 @@ val parse : ?base_dir:string -> id:string -> string -> t
     file name) used when the document has no [id] line. Raises
     [Failure] with a descriptive message on malformed input, unreadable
     referenced files, or a malformed embedded hyperDAG. *)
+
+type stats_request = { stats_id : string }
+
+type parsed = Schedule of t | Stats of stats_request
+(** The daemon accepts one more request type over the same transports:
+    a {b stats probe} — a header-only document whose first directive is
+    the bare word [stats] (an [id] line, comments and blank lines may
+    precede it):
+
+    {v
+    id probe-1
+    stats
+    v}
+
+    It is answered with a live telemetry snapshot instead of a
+    schedule; see {!Daemon}. *)
+
+val parse_any : ?base_dir:string -> id:string -> string -> parsed
+(** Like {!parse}, but recognises stats probes. Anything that is not a
+    stats probe is parsed as a scheduling request (with the scheduling
+    parser's error messages). *)

@@ -15,7 +15,7 @@ let unlimited () = make Unlimited
 
 let steps n = make (Steps { remaining = n })
 
-let seconds s = make (Deadline (Unix.gettimeofday () +. s))
+let seconds s = make (Deadline (Time_source.now () +. s))
 
 let combine a b = make (Pair (a, b))
 
@@ -26,11 +26,11 @@ let rec exhausted t =
       match t.kind with
       | Unlimited -> false
       | Steps { remaining } -> remaining <= 0
-      (* gettimeofday is a vDSO call (~tens of ns): probing on every
-         check is cheap and lets deadlines interrupt consumers whose
-         per-tick work is expensive (one branch-and-bound node can cost
-         an entire LP solve). *)
-      | Deadline deadline -> Unix.gettimeofday () >= deadline
+      (* The default source is gettimeofday, a vDSO call (~tens of
+         ns): probing on every check is cheap and lets deadlines
+         interrupt consumers whose per-tick work is expensive (one
+         branch-and-bound node can cost an entire LP solve). *)
+      | Deadline deadline -> Time_source.now () >= deadline
       | Pair (a, b) -> exhausted a || exhausted b
     in
     if d then t.dead <- true;

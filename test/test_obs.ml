@@ -2,6 +2,9 @@ let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_str = Alcotest.(check string)
 
+let read_json_file path =
+  Obs.Json.of_string (In_channel.with_open_bin path In_channel.input_all)
+
 (* ------------------------------------------------------------------ *)
 (* Obs.Json: emitter / parser.                                         *)
 
@@ -169,6 +172,291 @@ let test_metrics_with_registry_restores () =
   check_bool "restored to none" true (Obs.Metrics.current () = None)
 
 (* ------------------------------------------------------------------ *)
+(* Histograms: log-bucketed recording, quantiles, deterministic merge.  *)
+
+let test_histogram_basic () =
+  let r = Obs.Metrics.create () in
+  check_bool "absent histogram" true (Obs.Metrics.histogram_stats r "h" = None);
+  Obs.Metrics.observe r "h" 1.0;
+  (match Obs.Metrics.histogram_stats r "h" with
+   | Some s ->
+     check "count" 1 s.Obs.Metrics.count;
+     check_bool "sum" true (s.Obs.Metrics.sum = 1.0);
+     (* A single observation pins every quantile to that value (clamped
+        to [min,max]). *)
+     check_bool "p50 = value" true (s.Obs.Metrics.p50 = 1.0);
+     check_bool "p99 = value" true (s.Obs.Metrics.p99 = 1.0)
+   | None -> Alcotest.fail "histogram missing after observe");
+  Obs.Metrics.observe r "h" 3.0;
+  Obs.Metrics.observe r "h" 0.25;
+  (match Obs.Metrics.histogram_stats r "h" with
+   | Some s ->
+     check "count accumulates" 3 s.Obs.Metrics.count;
+     check_bool "sum accumulates" true (s.Obs.Metrics.sum = 4.25);
+     check_bool "min" true (s.Obs.Metrics.min_value = 0.25);
+     check_bool "max" true (s.Obs.Metrics.max_value = 3.0);
+     check_bool "quantiles ordered" true
+       (s.Obs.Metrics.p50 <= s.Obs.Metrics.p90 && s.Obs.Metrics.p90 <= s.Obs.Metrics.p99);
+     check_bool "quantiles clamped" true
+       (s.Obs.Metrics.p50 >= 0.25 && s.Obs.Metrics.p99 <= 3.0)
+   | None -> Alcotest.fail "histogram missing");
+  check_bool "names" true (Obs.Metrics.histogram_names r = [ "h" ])
+
+let test_histogram_buckets () =
+  let r = Obs.Metrics.create () in
+  (* Base-2 buckets: 1.0 lands in (1, 2], 0.75 in (0.5, 1]. *)
+  Obs.Metrics.observe r "h" 1.0;
+  Obs.Metrics.observe r "h" 0.75;
+  Obs.Metrics.observe r "h" 0.75;
+  check_bool "bucket upper bounds" true
+    (Obs.Metrics.histogram_buckets r "h" = [ (1.0, 2); (2.0, 1) ]);
+  (* Extremes do not crash and stay countable: zero and negatives fall
+     into the first bucket, +inf/nan into the last. *)
+  Obs.Metrics.observe r "edge" 0.0;
+  Obs.Metrics.observe r "edge" (-3.0);
+  Obs.Metrics.observe r "edge" infinity;
+  Obs.Metrics.observe r "edge" nan;
+  match Obs.Metrics.histogram_stats r "edge" with
+  | Some s -> check "edge observations all counted" 4 s.Obs.Metrics.count
+  | None -> Alcotest.fail "edge histogram missing"
+
+(* The merge contract (PR: live daemon telemetry): recording a value
+   stream split across child registries and merging them back must be
+   indistinguishable — count, sum and bucket-exact — from recording the
+   concatenated stream sequentially. Dyadic values (n/16) keep float
+   sums exact so the comparison needs no tolerance. *)
+let prop_histogram_merge_matches_sequential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"histogram merge = sequential recording"
+       QCheck2.Gen.(pair (list (int_bound 2000)) (list (int_bound 2000)))
+       (fun (xs, ys) ->
+         let value n = float_of_int n /. 16.0 in
+         let seq = Obs.Metrics.create () in
+         List.iter (fun n -> Obs.Metrics.observe seq "h" (value n)) (xs @ ys);
+         let parent = Obs.Metrics.create () in
+         let c1 = Obs.Metrics.create_child parent in
+         let c2 = Obs.Metrics.create_child parent in
+         List.iter (fun n -> Obs.Metrics.observe c1 "h" (value n)) xs;
+         List.iter (fun n -> Obs.Metrics.observe c2 "h" (value n)) ys;
+         Obs.Metrics.merge_into ~into:parent c1;
+         Obs.Metrics.merge_into ~into:parent c2;
+         Obs.Metrics.histogram_buckets parent "h" = Obs.Metrics.histogram_buckets seq "h"
+         &&
+         match
+           (Obs.Metrics.histogram_stats parent "h", Obs.Metrics.histogram_stats seq "h")
+         with
+         | None, None -> xs = [] && ys = []
+         | Some a, Some b -> a = b
+         | _ -> false))
+
+let test_series_cap_drops () =
+  let r = Obs.Metrics.create ~series_cap:5 () in
+  check "cap readable" 5 (Obs.Metrics.series_cap r);
+  for i = 1 to 8 do
+    Obs.Metrics.point r "s" ~label:(string_of_int i) (float_of_int i)
+  done;
+  check "dropped count" 3 (Obs.Metrics.series_dropped r "s");
+  check_bool "keeps the newest points" true
+    (Obs.Metrics.series_values r "s"
+    = [ ("4", 4.0); ("5", 5.0); ("6", 6.0); ("7", 7.0); ("8", 8.0) ]);
+  (* The drop counter is part of the JSON snapshot. *)
+  match Obs.Json.member "series_dropped" (Obs.Metrics.to_json r) with
+  | Some dropped ->
+    (match Obs.Json.member "s" dropped with
+     | Some (Obs.Json.Int 3) -> ()
+     | _ -> Alcotest.fail "series_dropped.s missing from JSON")
+  | None -> Alcotest.fail "series_dropped missing from JSON"
+
+(* ------------------------------------------------------------------ *)
+(* Clock: the pluggable time source makes span durations exact.        *)
+
+let test_fake_clock_exact_span () =
+  let t = ref 100.0 in
+  let fake () =
+    t := !t +. 1.5;
+    !t
+  in
+  let r = Obs.Metrics.create () in
+  Obs.Clock.with_source fake (fun () ->
+      Obs.Metrics.span r "stage" (fun () -> ()));
+  (match Obs.Metrics.span_list r with
+   | [ s ] -> check_bool "exact seconds" true (s.Obs.Metrics.seconds = 1.5)
+   | _ -> Alcotest.fail "expected exactly one span");
+  (* The source is restored on exit. *)
+  check_bool "restored" true (Obs.Clock.now () > 1.0e9)
+
+let test_fake_clock_budget_deadline () =
+  let t = ref 0.0 in
+  Obs.Clock.with_source
+    (fun () -> !t)
+    (fun () ->
+      let b = Budget.seconds 10.0 in
+      check_bool "fresh deadline not exhausted" true (not (Budget.exhausted b));
+      t := 9.0;
+      check_bool "before deadline" true (not (Budget.exhausted b));
+      t := 10.5;
+      check_bool "past deadline" true (Budget.exhausted b))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition.                                         *)
+
+let test_prometheus_exposition () =
+  let r = Obs.Metrics.create ~series_cap:1 () in
+  Obs.Metrics.add r "server.requests" 3;
+  Obs.Metrics.set r "server.queue_depth" 2.0;
+  Obs.Metrics.observe r "req.seconds" 0.75;
+  Obs.Metrics.observe r "req.seconds" 1.5;
+  Obs.Metrics.point r "s" ~label:"a" 1.0;
+  Obs.Metrics.point r "s" ~label:"b" 2.0;
+  Obs.Metrics.with_registry r (fun () -> Obs.Metrics.with_span "stage" (fun () -> ()));
+  let text = Obs.Metrics.to_prometheus r in
+  let has line = List.mem line (String.split_on_char '\n' text) in
+  check_bool "counter renamed and _total" true (has "server_requests_total 3");
+  check_bool "counter TYPE" true (has "# TYPE server_requests_total counter");
+  check_bool "gauge" true (has "server_queue_depth 2");
+  check_bool "histogram TYPE" true (has "# TYPE req_seconds histogram");
+  check_bool "cumulative bucket" true (has "req_seconds_bucket{le=\"1\"} 1");
+  check_bool "+Inf bucket" true (has "req_seconds_bucket{le=\"+Inf\"} 2");
+  check_bool "sum" true (has "req_seconds_sum 2.25");
+  check_bool "count" true (has "req_seconds_count 2");
+  check_bool "series drops exported" true
+    (has "obs_series_dropped_points_total{series=\"s\"} 1");
+  check_bool "span calls" true (has "bsp_span_calls_total{path=\"stage\"} 1");
+  (* write_prometheus_file produces the same bytes, atomically. *)
+  let path = Filename.temp_file "obs_prom" ".prom" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Metrics.write_prometheus_file r path;
+      check_str "file matches to_prometheus" text
+        (In_channel.with_open_bin path In_channel.input_all))
+
+(* ------------------------------------------------------------------ *)
+(* Obs.Events: the per-domain flight recorder.                         *)
+
+let k_test_a = Obs.Events.register_kind "test_a"
+let k_test_b = Obs.Events.register_kind "test_b"
+
+let test_events_disabled_noop () =
+  Obs.Events.disable ();
+  Obs.Events.begin_ k_test_a;
+  Obs.Events.end_ k_test_a;
+  Obs.Events.instant k_test_b;
+  check_bool "disabled dump empty" true (Obs.Events.dump () = []);
+  check "disabled recorded" 0 (Obs.Events.recorded ());
+  check_bool "trace export refuses while disabled" true
+    (try
+       Obs.Events.write_chrome_trace "/nonexistent/never-written.json";
+       false
+     with Invalid_argument _ -> true)
+
+let test_events_record_and_dump () =
+  check_str "kind name interned" "test_a" (Obs.Events.kind_name k_test_a);
+  check_bool "register is idempotent" true
+    (Obs.Events.register_kind "test_a" = k_test_a);
+  Obs.Events.enable ();
+  Fun.protect ~finally:Obs.Events.disable (fun () ->
+      Obs.Events.begin_ ~arg:7 k_test_a;
+      Obs.Events.end_ ~arg:7 k_test_a;
+      Obs.Events.instant k_test_b;
+      Obs.Events.sample k_test_b 42;
+      check "recorded" 4 (Obs.Events.recorded ());
+      check "no drops" 0 (Obs.Events.dropped ());
+      match Obs.Events.dump () with
+      | [ b; e; i; s ] ->
+        check_bool "begin phase" true (b.Obs.Events.ev_phase = Obs.Events.Begin);
+        check "begin arg" 7 b.Obs.Events.ev_arg;
+        check_bool "end phase" true (e.Obs.Events.ev_phase = Obs.Events.End);
+        check_bool "instant phase" true (i.Obs.Events.ev_phase = Obs.Events.Instant);
+        check_bool "sample phase" true (s.Obs.Events.ev_phase = Obs.Events.Sample);
+        check "sample value" 42 s.Obs.Events.ev_arg;
+        check_bool "timestamps monotone" true
+          (b.Obs.Events.ev_ts <= e.Obs.Events.ev_ts
+          && e.Obs.Events.ev_ts <= i.Obs.Events.ev_ts);
+        check_bool "same domain" true
+          (b.Obs.Events.ev_domain = s.Obs.Events.ev_domain)
+      | evs -> Alcotest.failf "expected 4 events, got %d" (List.length evs))
+
+let test_events_ring_wrap () =
+  (* The capacity floor is 1024; overflowing it must keep the newest
+     events and count the overwritten ones as dropped. *)
+  Obs.Events.enable ~capacity:1024 ();
+  Fun.protect ~finally:Obs.Events.disable (fun () ->
+      for i = 0 to 1499 do
+        Obs.Events.instant ~arg:i k_test_a
+      done;
+      check "recorded counts overwritten too" 1500 (Obs.Events.recorded ());
+      check "dropped" 476 (Obs.Events.dropped ());
+      let evs = Obs.Events.dump () in
+      check "retained = capacity" 1024 (List.length evs);
+      check "oldest retained arg" 476 (List.hd evs).Obs.Events.ev_arg;
+      check "newest retained arg" 1499
+        (List.nth evs (List.length evs - 1)).Obs.Events.ev_arg)
+
+let test_events_chrome_trace () =
+  (* Deterministic timestamps via the fake clock: each Clock.now () call
+     advances 1 ms, so the span's "dur" is exactly 2000 us (begin and
+     end bracket one extra now() from the unclosed-span backstop? no:
+     begin_, end_ are adjacent calls). *)
+  let t = ref 0.0 in
+  let path = Filename.temp_file "obs_flight" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.disable ();
+      Sys.remove path)
+    (fun () ->
+      Obs.Clock.with_source
+        (fun () ->
+          t := !t +. 0.001;
+          !t)
+        (fun () ->
+          Obs.Events.enable ();
+          Obs.Events.begin_ ~arg:3 k_test_a;
+          Obs.Events.end_ ~arg:3 k_test_a;
+          Obs.Events.instant k_test_b;
+          Obs.Events.sample k_test_b 5;
+          Obs.Events.begin_ k_test_b;
+          (* left open on purpose: must close at the track's last ts *)
+          Obs.Events.write_chrome_trace path);
+      let json = read_json_file path in
+      let events =
+        match Obs.Json.member "traceEvents" json with
+        | Some (Obs.Json.List evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents"
+      in
+      let slices =
+        List.filter
+          (fun ev ->
+            match Obs.Json.member "ph" ev with
+            | Some (Obs.Json.String "X") -> true
+            | _ -> false)
+          events
+      in
+      check "two X slices (one the backstop-closed open span)" 2 (List.length slices);
+      let slice_named name =
+        List.find
+          (fun ev -> Obs.Json.member "name" ev = Some (Obs.Json.String name))
+          slices
+      in
+      (match Obs.Json.member "dur" (slice_named "test_a") with
+       | Some (Obs.Json.Float d) -> check_bool "exact dur 1000us" true (d = 1000.0)
+       | Some (Obs.Json.Int d) -> check "exact dur 1000us" 1000 d
+       | _ -> Alcotest.fail "X slice has no dur");
+      check_bool "domain track named" true
+        (List.exists
+           (fun ev ->
+             Obs.Json.member "name" ev = Some (Obs.Json.String "thread_name")
+             &&
+             match Obs.Json.member "args" ev with
+             | Some args -> Obs.Json.member "name" args = Some (Obs.Json.String "d0")
+             | None -> false)
+           events);
+      check_bool "counter sample exported" true
+        (List.exists
+           (fun ev -> Obs.Json.member "ph" ev = Some (Obs.Json.String "C"))
+           events))
+
+(* ------------------------------------------------------------------ *)
 (* The pipeline under a registry: step accounting, JSON validity, and
    the differential check that instrumentation does not change results. *)
 
@@ -314,6 +602,31 @@ let () =
           Alcotest.test_case "with_registry restores" `Quick
             test_metrics_with_registry_restores;
           Alcotest.test_case "write_json_file" `Quick test_write_json_file;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "basic stats + quantiles" `Quick test_histogram_basic;
+          Alcotest.test_case "bucket boundaries + extremes" `Quick
+            test_histogram_buckets;
+          prop_histogram_merge_matches_sequential;
+        ] );
+      ( "series cap",
+        [ Alcotest.test_case "bounded retention + drops" `Quick test_series_cap_drops ] );
+      ( "clock",
+        [
+          Alcotest.test_case "exact span via fake source" `Quick
+            test_fake_clock_exact_span;
+          Alcotest.test_case "budget deadline via fake source" `Quick
+            test_fake_clock_budget_deadline;
+        ] );
+      ( "prometheus",
+        [ Alcotest.test_case "text exposition" `Quick test_prometheus_exposition ] );
+      ( "events",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_events_disabled_noop;
+          Alcotest.test_case "record + dump" `Quick test_events_record_and_dump;
+          Alcotest.test_case "ring wrap drops oldest" `Quick test_events_ring_wrap;
+          Alcotest.test_case "chrome trace export" `Quick test_events_chrome_trace;
         ] );
       ( "pipeline",
         [

@@ -442,6 +442,107 @@ let test_daemon_stdio () =
             (str_field "schedule" r2)))
 
 (* ------------------------------------------------------------------ *)
+(* Stats probes: live telemetry over both transports.                   *)
+
+(* A fresh registry per test keeps the counter assertions absolute —
+   the ambient registry is process-wide and other daemon tests in this
+   binary already incremented it. *)
+let run_stats_roundtrip ~jobs () =
+  with_tmp_dir "stats" (fun queue ->
+      Unix.mkdir (Filename.concat queue "incoming") 0o755;
+      Obs.Metrics.install (Obs.Metrics.create ());
+      let request p =
+        Printf.sprintf "algorithm pipeline\nseconds 0.2\np %d\ng 1\nl 2\nhyperdag\n%s" p
+          (Hyperdag_io.to_string (Test_util.diamond ()))
+      in
+      let drop name body =
+        Atomic_file.write_string
+          (Filename.concat (Filename.concat queue "incoming") (name ^ ".req"))
+          body
+      in
+      (* Two distinct workloads (different machines) so the batch runs
+         two leader tasks on the pool, plus the probe. *)
+      drop "a" (request 2);
+      drop "b" (request 3);
+      drop "probe" "id probe-1\nstats\n";
+      let config =
+        { (Server.Daemon.default_config ~queue_dir:queue) with Server.Daemon.once = true }
+      in
+      Par.with_jobs jobs (fun () -> Server.Daemon.run config);
+      let resp name = read_json (Filename.concat queue ("done/" ^ name ^ ".resp.json")) in
+      check_str "a scheduled" "ok" (str_field "status" (resp "a"));
+      check_str "b scheduled" "ok" (str_field "status" (resp "b"));
+      let stats = resp "probe" in
+      check_str "probe ok" "ok" (str_field "status" stats);
+      check_str "probe typed" "stats" (str_field "type" stats);
+      check_str "probe id from the id line" "probe-1" (str_field "id" stats);
+      let counters = field "counters" stats in
+      check "two scheduling requests" 2 (int_field "server.requests" counters);
+      check "one stats request, not counted as scheduling" 1
+        (int_field "server.stats_requests" counters);
+      check "one batch" 1 (int_field "server.batches" counters);
+      (* The probe is answered after the batch's scheduling work, so the
+         latency histogram already covers both requests. *)
+      let hist = field "server.request_seconds" (field "histograms" stats) in
+      check "latency histogram count" 2 (int_field "count" hist);
+      check_bool "histogram carries quantiles" true
+        (Obs.Json.member "p99" hist <> None && Obs.Json.member "buckets" hist <> None);
+      (match Obs.Json.member "server.queue_depth_peak" (field "gauges" stats) with
+       | Some (Obs.Json.Float d) -> check_bool "peak depth covers the batch" true (d >= 3.0)
+       | Some (Obs.Json.Int d) -> check_bool "peak depth covers the batch" true (d >= 3)
+       | _ -> Alcotest.fail "no queue_depth_peak gauge");
+      (match Obs.Json.member "uptime_seconds" stats with
+       | Some (Obs.Json.Float u) -> check_bool "uptime non-negative" true (u >= 0.0)
+       | Some (Obs.Json.Int u) -> check_bool "uptime non-negative" true (u >= 0)
+       | _ -> Alcotest.fail "no uptime");
+      check_bool "hit ratio present" true (Obs.Json.member "cache_hit_ratio" stats <> None);
+      let pool = field "pool" stats in
+      check "pool jobs echoes the setting" jobs (int_field "jobs" pool);
+      match Obs.Json.member "domains" pool with
+      | Some (Obs.Json.List ds) ->
+        if jobs > 1 then begin
+          check_bool "parallel batch engaged pool domains" true (ds <> []);
+          List.iter
+            (fun d ->
+              check_bool "domain stats complete" true
+                (Obs.Json.member "tasks_run" d <> None
+                && Obs.Json.member "minor_words" d <> None))
+            ds
+        end
+      | _ -> Alcotest.fail "no pool.domains list")
+
+let test_daemon_stdio_stats () =
+  with_tmp_dir "stdio-stats" (fun dir ->
+      Obs.Metrics.install (Obs.Metrics.create ());
+      let cache_dir = Filename.concat dir "cache" in
+      let sched_req =
+        "algorithm pipeline\nseconds 0.2\np 2\ng 1\nl 2\nhyperdag\n"
+        ^ Hyperdag_io.to_string (Test_util.diamond ())
+      in
+      let inp = Filename.concat dir "in" and out = Filename.concat dir "out" in
+      Out_channel.with_open_bin inp (fun oc ->
+          Server.Daemon.write_frame oc sched_req;
+          Server.Daemon.write_frame oc "stats\n");
+      In_channel.with_open_bin inp (fun ic ->
+          Out_channel.with_open_bin out (fun oc ->
+              Server.Daemon.run_stdio ~cache_dir ic oc));
+      In_channel.with_open_bin out (fun ic ->
+          let r1 = Obs.Json.of_string (Option.get (Server.Daemon.read_frame ic)) in
+          let r2 = Obs.Json.of_string (Option.get (Server.Daemon.read_frame ic)) in
+          check_str "schedule frame ok" "miss" (str_field "cache" r1);
+          check_str "stats frame typed" "stats" (str_field "type" r2);
+          check_bool "stats frame carries no schedule" true
+            (Obs.Json.member "schedule" r2 = None);
+          let counters = field "counters" r2 in
+          check "stdio scheduling request counted" 1
+            (int_field "server.requests" counters);
+          check "stdio stats request counted" 1
+            (int_field "server.stats_requests" counters);
+          check "stdio latency histogram count" 1
+            (int_field "count"
+               (field "server.request_seconds" (field "histograms" r2)))))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -496,5 +597,10 @@ let () =
           Alcotest.test_case "queue: miss, coalesce, hit, error, metrics" `Quick
             test_daemon_once;
           Alcotest.test_case "stdio session" `Quick test_daemon_stdio;
+          Alcotest.test_case "stats round-trip, jobs 1" `Quick
+            (run_stats_roundtrip ~jobs:1);
+          Alcotest.test_case "stats round-trip, jobs 4" `Quick
+            (run_stats_roundtrip ~jobs:4);
+          Alcotest.test_case "stdio stats frame" `Quick test_daemon_stdio_stats;
         ] );
     ]
