@@ -14,6 +14,7 @@ type limits = {
   stage_seconds : float option;
   hc_check : bool;
   replicate : bool;
+  hc_shards : int;
 }
 
 let default_limits =
@@ -33,6 +34,7 @@ let default_limits =
     stage_seconds = Some 5.0;
     hc_check = false;
     replicate = false;
+    hc_shards = 1;
   }
 
 let fast_limits =
@@ -83,7 +85,8 @@ let local_search ?(label = "init") limits machine sched =
   let hc_budget = stage_budget limits limits.hc_evals in
   let hc, _ =
     Obs.Metrics.with_span ~budget:hc_budget ("hc:" ^ label) (fun () ->
-        Hc.improve ~check:limits.hc_check ~budget:hc_budget machine sched)
+        Hc.improve ~check:limits.hc_check ~budget:hc_budget ~shards:limits.hc_shards
+          machine sched)
   in
   let hc = Superstep_merge.greedy machine (Schedule.compact hc) in
   let hccs_budget = stage_budget limits limits.hccs_evals in
@@ -333,7 +336,7 @@ let run_multilevel_ratio ?(limits = default_limits) ?solver_limits ~ratio machin
   let sched =
     Obs.Metrics.with_span ~budget:ml_budget (Printf.sprintf "multilevel:%g" ratio)
       (fun () ->
-        Multilevel.run_ratio ~budget:ml_budget
+        Multilevel.run_ratio ~budget:ml_budget ~shards:limits.hc_shards
           ~refine_interval:Multilevel.default_config.Multilevel.refine_interval
           ~refine_moves:Multilevel.default_config.Multilevel.refine_moves
           ~solver:(base_solver solver_limits) ~ratio machine dag)

@@ -46,6 +46,13 @@ type limits = {
           result when strictly cheaper (DESIGN.md Section 5g); off by
           default, so baseline costs stay bit-identical. The CLI's
           [--replicate] flag turns it on. *)
+  hc_shards : int;
+      (** shard count for {!Hc.improve}'s propose/merge/apply engine,
+          passed to every HC stage and every multilevel refinement
+          (DESIGN.md Section 5j). [1] (the default) is the sequential
+          path; any other value is bit-identical to it, so this only
+          changes wall-clock, never results. Normally set to the jobs
+          count. *)
 }
 
 val default_limits : limits

@@ -341,6 +341,61 @@ let of_edges ~n ~edges ~work ~comm =
   build ~n ~edges ~work ~comm ~on_cycle:(fun () ->
       invalid_arg "Dag.of_edges: edge set contains a directed cycle")
 
+(* CSR-direct construction: the caller hands over canonical successor
+   segments (sorted, deduplicated, loop-free), so only the predecessor
+   side and the topo caches remain to be derived — no edge list, no
+   sort, no dedup pass. Iterating u ascending when scattering makes the
+   predecessor segments sorted and duplicate-free for free, exactly as
+   in [build_csr]. *)
+let of_csr_unchecked ~n ~succ_off ~succ_tgt ~work ~comm =
+  if n < 0 then invalid_arg "Dag: negative node count";
+  if Array.length succ_off <> n + 1 || succ_off.(0) <> 0 then
+    invalid_arg "Dag.of_csr_unchecked: malformed offsets";
+  let m = succ_off.(n) in
+  if Array.length succ_tgt < m then invalid_arg "Dag.of_csr_unchecked: short targets";
+  if Array.length work <> n || Array.length comm <> n then
+    invalid_arg "Dag: weight array length mismatch";
+  for u = 0 to n - 1 do
+    if succ_off.(u + 1) < succ_off.(u) then
+      invalid_arg "Dag.of_csr_unchecked: malformed offsets";
+    let prev = ref (-1) in
+    for i = succ_off.(u) to succ_off.(u + 1) - 1 do
+      let v = succ_tgt.(i) in
+      if v < 0 || v >= n || v = u then
+        invalid_arg "Dag.of_csr_unchecked: edge endpoint out of range";
+      if v <= !prev then invalid_arg "Dag.of_csr_unchecked: segment not sorted";
+      prev := v
+    done;
+    if work.(u) < 0 then invalid_arg "Dag: negative work weight";
+    if comm.(u) < 0 then invalid_arg "Dag: negative comm weight"
+  done;
+  let succ_tgt = if Array.length succ_tgt = m then succ_tgt else Array.sub succ_tgt 0 m in
+  let indeg = Array.make (max n 1) 0 in
+  for i = 0 to m - 1 do
+    let v = succ_tgt.(i) in
+    indeg.(v) <- indeg.(v) + 1
+  done;
+  let pred_off = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    pred_off.(v) <- pred_off.(v - 1) + indeg.(v - 1)
+  done;
+  let pred_tgt = Array.make m 0 in
+  let cursor = indeg in
+  Array.blit pred_off 0 cursor 0 n;
+  for u = 0 to n - 1 do
+    for i = succ_off.(u) to succ_off.(u + 1) - 1 do
+      let v = succ_tgt.(i) in
+      pred_tgt.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done;
+  match compute_topo ~n ~succ_off ~succ_tgt ~pred_off with
+  | None -> failwith "Dag: graph contains a directed cycle"
+  | Some topo ->
+    let rank = Array.make n 0 in
+    Array.iteri (fun i v -> rank.(v) <- i) topo;
+    { n; succ_off; succ_tgt; pred_off; pred_tgt; work; comm; topo; rank }
+
 let is_acyclic_edges ~n edges =
   match build_csr ~n ~edges with
   | succ_off, succ_tgt, pred_off, _ ->

@@ -40,6 +40,22 @@ val of_edges_unchecked : n:int -> edges:(int * int) list -> work:int array -> co
     [Failure "Dag: graph contains a directed cycle"] (the same error the
     lazy cache historically raised on first topo access). *)
 
+val of_csr_unchecked :
+  n:int -> succ_off:int array -> succ_tgt:int array -> work:int array -> comm:int array -> t
+(** Build directly from a successor CSR the caller already holds in
+    canonical form: [succ_off] of length [n + 1] with
+    [succ_off.(0) = 0], monotone, and every per-node segment of
+    [succ_tgt] strictly increasing (sorted, duplicate- and
+    self-loop-free) with in-range targets — raises [Invalid_argument]
+    otherwise. The predecessor side and the topological caches are
+    derived here; acyclicity is witnessed exactly as in
+    {!of_edges_unchecked}. Ownership of all four arrays transfers to
+    the DAG (no copies), so the caller must not mutate them afterwards.
+    This is the allocation-lean path for {!Coarsen.quotient}, which
+    produces sorted segments by construction and would otherwise pay a
+    tuple list plus a redundant sort per multilevel refinement
+    level. *)
+
 (** {1 Basic accessors} *)
 
 val n : t -> int

@@ -50,7 +50,13 @@ val coarsen_to : ?strategy:strategy -> t -> target:int -> unit
     [strategy] defaults to [Paper_rule]. *)
 
 val history : t -> contraction list
-(** All contractions performed, oldest first. *)
+(** All contractions performed, oldest first. Materialised from the
+    flat history on each call; use {!num_contractions} when only the
+    count is needed. *)
+
+val num_contractions : t -> int
+(** Number of contractions currently recorded (the length of
+    {!history}), read from the stored count in O(1). *)
 
 val undo_last : t -> contraction option
 (** Undo the most recent contraction, restoring the finer level; [None]

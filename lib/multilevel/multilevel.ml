@@ -16,13 +16,13 @@ let default_config =
 (* Project the per-representative assignment onto the current level of
    the coarsening session as a schedule on its quotient DAG, refine with
    HC, and write the result back into the per-representative arrays. *)
-let refine_level ?budget ~refine_moves session machine ~proc_of ~step_of =
+let refine_level ?budget ~refine_moves ~shards session machine ~proc_of ~step_of =
   let qdag, rep_of_id = Coarsen.quotient session in
   let nq = Dag.n qdag in
   let proc = Array.init nq (fun i -> proc_of.(rep_of_id.(i))) in
   let step = Array.init nq (fun i -> step_of.(rep_of_id.(i))) in
   let sched = Schedule.of_assignment qdag ~proc ~step in
-  let improved, stats = Hc.improve ?budget ~max_moves:refine_moves machine sched in
+  let improved, stats = Hc.improve ?budget ~max_moves:refine_moves ~shards machine sched in
   Obs.Metrics.counter "multilevel.refine_passes" 1;
   Obs.Metrics.counter "multilevel.refine_moves_applied" stats.Hc.moves_applied;
   Array.iteri
@@ -31,17 +31,25 @@ let refine_level ?budget ~refine_moves session machine ~proc_of ~step_of =
       step_of.(r) <- improved.Schedule.step.(i))
     rep_of_id
 
-let run_ratio ?budget ?(strategy = Coarsen.Paper_rule) ~refine_interval ~refine_moves
-    ~solver ~ratio machine dag =
+let run_ratio ?budget ?(strategy = Coarsen.Paper_rule) ?(shards = 1) ~refine_interval
+    ~refine_moves ~solver ~ratio machine dag =
   let n = Dag.n dag in
   let target = max 2 (int_of_float (ratio *. float_of_int n)) in
   let session = Coarsen.start dag in
   Coarsen.coarsen_to ~strategy session ~target;
   let qdag, rep_of_id = Coarsen.quotient session in
   Obs.Metrics.counter "multilevel.runs" 1;
-  Obs.Metrics.counter "multilevel.contractions" (List.length (Coarsen.history session));
+  Obs.Metrics.counter "multilevel.contractions" (Coarsen.num_contractions session);
   Obs.Metrics.gauge "multilevel.coarse_nodes" (float_of_int (Dag.n qdag));
   let coarse = solver machine qdag in
+  (* Level sizes only grow during uncoarsening, so without intervention
+     every level's refinement state would find the previous (smaller)
+     level's pooled arrays too small and allocate fresh ones. Parking
+     one state at the finest level's capacity up front makes every
+     refinement init below draw from the pool. The superstep count is
+     fixed by the coarse solve: refinement moves within the existing
+     range and compaction only happens at the very end. *)
+  Assignment_state.prewarm machine dag ~num_steps:(Schedule.num_supersteps coarse);
   (* Per-representative assignment, indexed by original node ids. *)
   let proc_of = Array.make n 0 in
   let step_of = Array.make n 0 in
@@ -51,7 +59,7 @@ let run_ratio ?budget ?(strategy = Coarsen.Paper_rule) ~refine_interval ~refine_
       step_of.(r) <- coarse.Schedule.step.(i))
     rep_of_id;
   (* Uncoarsen in chunks, refining after each chunk. *)
-  let remaining = ref (List.length (Coarsen.history session)) in
+  let remaining = ref (Coarsen.num_contractions session) in
   while !remaining > 0 do
     let chunk = min refine_interval !remaining in
     for _ = 1 to chunk do
@@ -62,15 +70,15 @@ let run_ratio ?budget ?(strategy = Coarsen.Paper_rule) ~refine_interval ~refine_
       | None -> ()
     done;
     remaining := !remaining - chunk;
-    refine_level ?budget ~refine_moves session machine ~proc_of ~step_of
+    refine_level ?budget ~refine_moves ~shards session machine ~proc_of ~step_of
   done;
   Schedule.compact (Schedule.of_assignment dag ~proc:proc_of ~step:step_of)
 
-let run ?(config = default_config) ?budget ~solver machine dag =
+let run ?(config = default_config) ?budget ?shards ~solver machine dag =
   let candidates =
     List.map
       (fun ratio ->
-        run_ratio ?budget ~strategy:config.strategy
+        run_ratio ?budget ~strategy:config.strategy ?shards
           ~refine_interval:config.refine_interval ~refine_moves:config.refine_moves
           ~solver ~ratio machine dag)
       config.ratios

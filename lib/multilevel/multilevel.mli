@@ -35,6 +35,7 @@ val default_config : config
 val run :
   ?config:config ->
   ?budget:Budget.t ->
+  ?shards:int ->
   solver:(Machine.t -> Dag.t -> Schedule.t) ->
   Machine.t ->
   Dag.t ->
@@ -42,11 +43,14 @@ val run :
 (** Run the full multilevel pipeline for each configured ratio and
     return the cheapest resulting schedule (without the final
     HCcs/ILPcs polish, which the caller owns). [budget] bounds the HC
-    refinement work across all levels. *)
+    refinement work across all levels. [shards] (default 1) is passed
+    to each refinement's {!Hc.improve} — sharded refinement is
+    bit-identical to sequential, so it never changes the result. *)
 
 val run_ratio :
   ?budget:Budget.t ->
   ?strategy:Coarsen.strategy ->
+  ?shards:int ->
   refine_interval:int ->
   refine_moves:int ->
   solver:(Machine.t -> Dag.t -> Schedule.t) ->
@@ -56,4 +60,4 @@ val run_ratio :
   Schedule.t
 (** One coarsen-solve-refine pass at a single ratio; exposed for the
     C15-vs-C30 ablation (Table 13/14 rows) and the coarsening-strategy
-    ablation. *)
+    ablation. [shards] as in {!run}. *)

@@ -19,7 +19,7 @@
 (* Flight-recorder event kinds (interned once; recording is a no-op
    while Obs.Events is disabled). "task" and "queue_wait" are spans,
    "claim"/"batch" instants, the gc_* kinds counter samples taken from
-   the Gc.quick_stat deltas each drain already measures. *)
+   the GC deltas each drain already measures. *)
 let k_task = Obs.Events.register_kind "task"
 let k_queue_wait = Obs.Events.register_kind "queue_wait"
 let k_idle = Obs.Events.register_kind "idle"
@@ -44,6 +44,35 @@ let with_jobs n f =
   let prev = jobs () in
   set_jobs n;
   Fun.protect ~finally:(fun () -> set_jobs prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Chunk sizing.                                                       *)
+
+(* How many task indices one fetch-and-add claims. The oversubscription
+   factor is the target number of claims per drainer per batch: higher
+   factors re-balance better when task runtimes are skewed, lower
+   factors amortise the atomic claim over more tasks. Tiny batches
+   (count <= factor * jobs) degenerate to chunk = 1 so no drainer ever
+   hoards tasks another domain could run — the 4-ratio portfolio sweep
+   lands here. *)
+
+let default_chunk_factor = 4
+
+let chunk_factor_setting =
+  Atomic.make
+    (match Sys.getenv_opt "BSP_CHUNK_FACTOR" with
+    | Some s ->
+      (match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> default_chunk_factor)
+    | None -> default_chunk_factor)
+
+let chunk_factor () = Atomic.get chunk_factor_setting
+let set_chunk_factor n = Atomic.set chunk_factor_setting (max 1 n)
+
+let chunk_size ~factor ~jobs ~count =
+  let factor = max 1 factor and jobs = max 1 jobs in
+  max 1 (count / (factor * jobs))
 
 (* ------------------------------------------------------------------ *)
 (* Per-domain GC tuning.                                               *)
@@ -91,6 +120,7 @@ type slot = {
   slot_worker : bool;
   s_tasks : int Atomic.t;
   s_batches : int Atomic.t;
+  s_last_chunk : int Atomic.t;
   s_minor_words : float Atomic.t;
   s_promoted_words : float Atomic.t;
   s_minor_collections : int Atomic.t;
@@ -102,6 +132,7 @@ type domain_stats = {
   is_worker : bool;
   tasks_run : int;
   batches_drained : int;
+  last_chunk : int;
   minor_words : float;
   promoted_words : float;
   minor_collections : int;
@@ -128,6 +159,7 @@ let my_slot () =
         slot_worker = Domain.DLS.get in_worker;
         s_tasks = Atomic.make 0;
         s_batches = Atomic.make 0;
+        s_last_chunk = Atomic.make 0;
         s_minor_words = Atomic.make 0.0;
         s_promoted_words = Atomic.make 0.0;
         s_minor_collections = Atomic.make 0;
@@ -145,6 +177,7 @@ let reset_stats () =
     (fun s ->
       Atomic.set s.s_tasks 0;
       Atomic.set s.s_batches 0;
+      Atomic.set s.s_last_chunk 0;
       Atomic.set s.s_minor_words 0.0;
       Atomic.set s.s_promoted_words 0.0;
       Atomic.set s.s_minor_collections 0;
@@ -164,6 +197,7 @@ let stats () =
            is_worker = s.slot_worker;
            tasks_run = Atomic.get s.s_tasks;
            batches_drained = Atomic.get s.s_batches;
+           last_chunk = Atomic.get s.s_last_chunk;
            minor_words = Atomic.get s.s_minor_words;
            promoted_words = Atomic.get s.s_promoted_words;
            minor_collections = Atomic.get s.s_minor_collections;
@@ -202,12 +236,25 @@ let mark_done b =
 (* Claim and execute tasks until the batch's index counter is
    exhausted, [chunk] indices per claim so the claim overhead (and the
    cache-line ping-pong on [next]) amortises over fine-grained batches.
-   Whoever completes the last task signals the submitter. Each drain
-   also accumulates the domain's task count and GC deltas into its
+   Whoever completes the last task signals the submitter — but only
+   after flushing its stats slot: the submitter reads [stats] as soon
+   as the batch reports done, so signaling first would race the last
+   drainer's accumulation out of the snapshot (observed as a worker's
+   whole contribution missing from a sweep's allocation total). Each
+   drain accumulates the domain's task count and GC deltas into its
    stats slot. *)
 let drain b =
+  (* [Gc.counters] reads only the calling domain's allocation counters.
+     [Gc.quick_stat] must NOT be used for per-domain words: in OCaml 5
+     it samples every live domain, so a drain-window delta would count
+     the whole process's allocation — each domain would report roughly
+     the process total and the per-domain sum would multi-count it.
+     Collection counts are global events anyway (all domains take part
+     in a minor cycle), so [quick_stat] remains fine for those. *)
+  let mw0, pw0, _ = Gc.counters () in
   let t0 = Gc.quick_stat () in
   let ran = ref 0 in
+  let last = ref false in
   let continue_ = ref true in
   while !continue_ do
     let i0 = Atomic.fetch_and_add b.next b.chunk in
@@ -220,31 +267,34 @@ let drain b =
       done;
       let k = hi - i0 in
       ran := !ran + k;
-      if Atomic.fetch_and_add b.remaining (-k) = k then mark_done b
+      if Atomic.fetch_and_add b.remaining (-k) = k then begin
+        last := true;
+        continue_ := false
+      end
     end
   done;
   if !ran > 0 then begin
+    let mw1, pw1, _ = Gc.counters () in
     let t1 = Gc.quick_stat () in
     let s = my_slot () in
     Atomic.set s.s_tasks (Atomic.get s.s_tasks + !ran);
     Atomic.set s.s_batches (Atomic.get s.s_batches + 1);
-    Atomic.set s.s_minor_words
-      (Atomic.get s.s_minor_words +. (t1.Gc.minor_words -. t0.Gc.minor_words));
-    Atomic.set s.s_promoted_words
-      (Atomic.get s.s_promoted_words +. (t1.Gc.promoted_words -. t0.Gc.promoted_words));
+    Atomic.set s.s_last_chunk b.chunk;
+    Atomic.set s.s_minor_words (Atomic.get s.s_minor_words +. (mw1 -. mw0));
+    Atomic.set s.s_promoted_words (Atomic.get s.s_promoted_words +. (pw1 -. pw0));
     Atomic.set s.s_minor_collections
       (Atomic.get s.s_minor_collections
       + (t1.Gc.minor_collections - t0.Gc.minor_collections));
     Atomic.set s.s_major_collections
       (Atomic.get s.s_major_collections
       + (t1.Gc.major_collections - t0.Gc.major_collections));
-    Obs.Events.sample k_gc_minor_words
-      (int_of_float (t1.Gc.minor_words -. t0.Gc.minor_words));
+    Obs.Events.sample k_gc_minor_words (int_of_float (mw1 -. mw0));
     Obs.Events.sample k_gc_minor
       (t1.Gc.minor_collections - t0.Gc.minor_collections);
     Obs.Events.sample k_gc_major
       (t1.Gc.major_collections - t0.Gc.major_collections)
-  end
+  end;
+  if !last then mark_done b
 
 (* Once a batch has no unclaimed tasks left, unlink it so workers go
    back to waiting instead of spinning on it. Every drainer calls this;
@@ -383,10 +433,11 @@ let run_batch (f : 'a -> 'b) (inputs : 'a array) : 'b array =
       {
         run;
         count = n;
-        (* A chunk per claim, sized so each of the [j] drainers makes a
-           handful of claims per batch; coarse batches (n <= 4 j) keep
-           chunk = 1 so no drainer hoards tasks another could run. *)
-        chunk = max 1 (n / (4 * j));
+        (* A chunk per claim, sized so each of the [j] drainers makes
+           [chunk_factor] claims per batch; coarse batches
+           (n <= factor * j) keep chunk = 1 so no drainer hoards tasks
+           another could run. *)
+        chunk = chunk_size ~factor:(chunk_factor ()) ~jobs:j ~count:n;
         next = Atomic.make 0;
         remaining = Atomic.make n;
         done_m = Mutex.create ();

@@ -75,6 +75,26 @@ val with_jobs : int -> (unit -> 'a) -> 'a
     (exception-safe restore). Used by the bench harness to time the
     same sweep at [jobs = 1] and [jobs = N] in one process. *)
 
+val chunk_size : factor:int -> jobs:int -> count:int -> int
+(** The number of task indices one work-claim takes from a batch of
+    [count] tasks drained by up to [jobs] domains:
+    [max 1 (count / (factor * jobs))]. The oversubscription [factor] is
+    the target number of claims per drainer per batch — higher factors
+    re-balance better under skewed task runtimes, lower factors
+    amortise the atomic claim over more tasks. Tiny batches
+    ([count <= factor * jobs], e.g. a 4-ratio portfolio at [jobs = 4])
+    degenerate to chunk 1 so no drainer hoards tasks another domain
+    could run. Pure; exposed for tests. *)
+
+val chunk_factor : unit -> int
+(** The current oversubscription factor (>= 1). Initialised from the
+    [BSP_CHUNK_FACTOR] environment variable when it parses as a
+    positive integer, else 4. *)
+
+val set_chunk_factor : int -> unit
+(** Set the oversubscription factor (clamped to >= 1), applied to every
+    subsequently submitted batch. *)
+
 val minor_heap_words : int
 (** The per-domain minor heap size (in words) applied to every domain
     that participates in a parallel batch: the value of the
@@ -91,20 +111,35 @@ val minor_heap_words : int
 
     Every domain that drains batch work accumulates, per {!stats}
     window: how many tasks and batches it ran, and the GC activity
-    ([Gc.quick_stat] deltas around each drain) those tasks caused. This
-    is the measurement layer behind the bench harness's parallel block
-    — minor-GC-bound parallelism shows up as high [minor_collections]
-    with low speedup, granularity problems as skewed [tasks_run]. *)
+    those tasks caused. Word counts come from [Gc.counters] deltas
+    around each drain, which read only the draining domain's own
+    allocation counters — [Gc.quick_stat] would be wrong here, because
+    in OCaml 5 it samples every live domain, so each domain would
+    report roughly the whole process's allocation and summing the
+    stats would multi-count it. This is the measurement layer behind
+    the bench harness's parallel block — minor-GC-bound parallelism
+    shows up as high [minor_collections] with low speedup, granularity
+    problems as skewed [tasks_run]. *)
 
 type domain_stats = {
   domain_index : int;  (** registration order; the submitter is usually 0 *)
   is_worker : bool;  (** false for domains that submit batches *)
   tasks_run : int;
   batches_drained : int;  (** drain sessions with >= 1 task run *)
+  last_chunk : int;
+      (** chunk size (indices per work-claim) of the most recent batch
+          this domain drained; [0] until it drains one *)
   minor_words : float;
+      (** words this domain allocated in its minor heap while draining
+          (domain-local, safe to sum across domains) *)
   promoted_words : float;
+      (** approximate under parallel minor GC: promotion work can be
+          shared across domains during a global minor cycle *)
   minor_collections : int;
-  major_collections : int;
+      (** global minor cycles observed during this domain's drains —
+          minor collections involve every domain, so these overlap
+          across domains and must not be summed *)
+  major_collections : int;  (** same caveat as [minor_collections] *)
 }
 
 val reset_stats : unit -> unit

@@ -78,6 +78,7 @@ let stats_json ~registry ~t0 ~id =
         ("worker", Obs.Json.Bool d.Par.is_worker);
         ("tasks_run", Obs.Json.Int d.Par.tasks_run);
         ("batches_drained", Obs.Json.Int d.Par.batches_drained);
+        ("last_chunk", Obs.Json.Int d.Par.last_chunk);
         ("minor_words", Obs.Json.Float d.Par.minor_words);
         ("promoted_words", Obs.Json.Float d.Par.promoted_words);
         ("minor_collections", Obs.Json.Int d.Par.minor_collections);

@@ -103,6 +103,40 @@ let test_best_of_index_tie_break () =
      Alcotest.fail "best_of accepted an empty list"
    with Invalid_argument _ -> ())
 
+let test_chunk_size () =
+  (* Tiny batches degenerate to chunk 1 so no drainer hoards tasks
+     another domain could run. *)
+  check "portfolio-sized batch -> 1" 1 (Par.chunk_size ~factor:4 ~jobs:4 ~count:4);
+  check "count <= factor*jobs -> 1" 1 (Par.chunk_size ~factor:4 ~jobs:4 ~count:16);
+  check "just above the knee" 1 (Par.chunk_size ~factor:4 ~jobs:4 ~count:17);
+  check "exact division" 2 (Par.chunk_size ~factor:4 ~jobs:4 ~count:32);
+  check "large batch" 62 (Par.chunk_size ~factor:4 ~jobs:4 ~count:1000);
+  check "factor 1 = even split" 250 (Par.chunk_size ~factor:1 ~jobs:4 ~count:1000);
+  check "factor clamped to >= 1" 10 (Par.chunk_size ~factor:0 ~jobs:1 ~count:10);
+  check "jobs clamped to >= 1" 5 (Par.chunk_size ~factor:2 ~jobs:0 ~count:10);
+  check "empty batch still >= 1" 1 (Par.chunk_size ~factor:4 ~jobs:4 ~count:0);
+  let old = Par.chunk_factor () in
+  Par.set_chunk_factor 0;
+  check "set_chunk_factor clamps to >= 1" 1 (Par.chunk_factor ());
+  Par.set_chunk_factor old;
+  check "set_chunk_factor round-trips" old (Par.chunk_factor ())
+
+let test_last_chunk_recorded () =
+  (* Every domain that drained the batch must report the batch's chunk
+     size in its stats block. *)
+  Par.reset_stats ();
+  let expected = Par.chunk_size ~factor:(Par.chunk_factor ()) ~jobs:2 ~count:64 in
+  ignore (at_jobs 2 (fun () -> Par.map (fun i -> i) (List.init 64 (fun i -> i))));
+  let ds = Par.stats () in
+  check_bool "some domain drained" true (ds <> []);
+  List.iter
+    (fun (d : Par.domain_stats) ->
+      if d.Par.tasks_run > 0 then
+        check
+          (Printf.sprintf "last_chunk of domain %d" d.Par.domain_index)
+          expected d.Par.last_chunk)
+    ds
+
 let test_with_jobs_restores () =
   Par.set_jobs 1;
   check "starts at 1" 1 (Par.jobs ());
@@ -295,6 +329,8 @@ let () =
             test_map_reduce_non_commutative;
           Alcotest.test_case "best_of index tie-break" `Quick
             test_best_of_index_tie_break;
+          Alcotest.test_case "chunk sizing" `Quick test_chunk_size;
+          Alcotest.test_case "last_chunk in stats" `Quick test_last_chunk_recorded;
           Alcotest.test_case "with_jobs restores" `Quick test_with_jobs_restores;
         ] );
       ( "obs-merge",
